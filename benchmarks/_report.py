@@ -1,0 +1,29 @@
+"""Small reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Noise frequencies used by the Figure 8/9/10 benchmarks (100 kHz - 15 MHz).
+NOISE_FREQUENCIES = tuple(float(f) for f in np.logspace(5, np.log10(15e6), 10))
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a figure's rows in a compact aligned table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0])
+    header = " | ".join(f"{key:>22s}" for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row[key]
+            if isinstance(value, float):
+                cells.append(f"{value:22.4g}")
+            else:
+                cells.append(f"{str(value):>22s}")
+        print(" | ".join(cells))

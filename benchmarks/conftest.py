@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper at the
+calibrated default mesh resolution and prints the corresponding rows, so the
+benchmark output doubles as the reproduction report.  The expensive flow /
+analysis objects are session-scoped; the ``benchmark`` fixture then times a
+representative piece of the computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nmos import NmosExperimentOptions, run_nmos_experiment
+from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis
+from repro.technology import make_technology
+
+from _report import NOISE_FREQUENCIES
+
+
+@pytest.fixture(scope="session")
+def technology():
+    return make_technology()
+
+
+@pytest.fixture(scope="session")
+def nmos_experiment(technology):
+    """Figure-3 experiment at the calibrated default resolution."""
+    return run_nmos_experiment(technology, options=NmosExperimentOptions())
+
+
+@pytest.fixture(scope="session")
+def vco_options():
+    return VcoExperimentOptions(vtune_values=(0.0, 0.75, 1.5),
+                                noise_frequencies=NOISE_FREQUENCIES)
+
+
+@pytest.fixture(scope="session")
+def vco_analysis(technology, vco_options):
+    """VCO impact analysis at the calibrated default resolution."""
+    return VcoImpactAnalysis(technology, options=vco_options)

@@ -1,0 +1,43 @@
+"""Figure 10: impact with the ground-interconnect resistance halved.
+
+Paper: enlarging the ground interconnect lines by a factor of two (halving
+their resistance) lowers the predicted impact by about 4.5 dB — close to, but
+less than, the ideal 6 dB because the other entries do not scale with the
+ground wire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.vco_experiment import VcoExperimentOptions, ground_resistance_study
+from repro.data import measurements
+
+from _report import NOISE_FREQUENCIES, print_table
+
+
+def test_fig10_ground_interconnect_widening(benchmark, technology):
+    options = VcoExperimentOptions(vtune_values=(0.0,),
+                                   noise_frequencies=NOISE_FREQUENCIES)
+
+    def run_study():
+        return ground_resistance_study(technology, options=options,
+                                       width_scale=2.0, vtune=0.0)
+
+    study = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    print_table("Figure 10: impact of halving the ground-interconnect resistance",
+                study.rows())
+    print(f"ground wire resistance: {study.nominal_ground_resistance:.1f} ohm -> "
+          f"{study.improved_ground_resistance:.1f} ohm")
+    print(f"mean impact reduction: {study.predicted_reduction_db:.2f} dB "
+          f"(paper: ~{measurements.FIG10_PREDICTED_REDUCTION_DB} dB, "
+          f"ideal {measurements.FIG10_IDEAL_REDUCTION_DB} dB)")
+
+    # The wire resistance really halves.
+    assert study.improved_ground_resistance == pytest.approx(
+        study.nominal_ground_resistance / 2.0, rel=1e-6)
+    # The impact improves at every analysed frequency.
+    assert np.all(study.nominal_dbm > study.improved_dbm)
+    # The reduction is a few dB: more than 2 dB, no more than the 6 dB ideal.
+    assert 2.0 < study.predicted_reduction_db <= study.ideal_reduction_db + 0.5
+    assert study.ideal_reduction_db == pytest.approx(6.02, abs=0.1)

@@ -1,0 +1,45 @@
+"""Figure 3: substrate-to-NMOS-output transfer versus bias.
+
+Paper: measured and simulated transfer between -45 dB (0.5 V bias) and
+-52 dB (1.6 V bias), agreement within 1 dB; the hand calculation
+``(v_bg / v_sub) * gmb / gds`` lands in the same band.
+
+This benchmark regenerates the curve with the full flow (substrate +
+interconnect + circuit extraction, AC transfer simulation), prints the rows
+and times one transfer-point evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nmos import NmosExperimentOptions, run_nmos_experiment
+from repro.data import measurements
+
+from _report import print_table
+
+
+def test_fig3_nmos_transfer(benchmark, technology, nmos_experiment):
+    result = nmos_experiment
+
+    print_table("Figure 3: substrate -> NMOS output transfer vs bias",
+                result.rows())
+    print(f"max |sim - ref| = {result.comparison.max_abs_error_db:.2f} dB "
+          f"(paper claims <= {measurements.NMOS_MAX_ERROR_DB:.0f} dB)")
+    print(f"mean |sim - ref| = {result.comparison.mean_abs_error_db:.2f} dB")
+    print(f"ground wire resistance = {result.ground_wire_resistance:.1f} ohm")
+
+    # Shape assertions: the transfer falls with bias and stays in the band.
+    assert np.all(np.diff(result.transfer_db) < 0)
+    assert result.transfer_db[0] > result.transfer_db[-1]
+    assert -60.0 < result.transfer_db.min() and result.transfer_db.max() < -35.0
+    assert result.comparison.max_abs_error_db < 6.0
+
+    # Time a reduced two-bias-point evaluation of the full experiment.
+    options = NmosExperimentOptions(bias_points=(0.5, 1.6))
+
+    def run_reduced_sweep():
+        return run_nmos_experiment(technology, options=options)
+
+    timed = benchmark.pedantic(run_reduced_sweep, rounds=1, iterations=1)
+    assert len(timed.transfer_db) == 2
+    assert timed.transfer_db[0] > timed.transfer_db[1]

@@ -1,0 +1,53 @@
+"""Section 6 runtime: extraction + simulation wall-clock of the VCO analysis.
+
+Paper: roughly 35 minutes on a 2005 HP-UX server (20 minutes of extraction,
+15 minutes of simulation) for the Figure-10 results.  This benchmark records
+the same split (extraction versus impact simulation) for the reproduction on
+current hardware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flow import run_extraction_flow
+from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis
+from repro.layout.testchips import make_vco_testchip
+
+from _report import NOISE_FREQUENCIES, print_table
+
+
+def test_runtime_extraction_and_simulation(benchmark, technology, vco_options):
+    cell = make_vco_testchip()
+
+    def extract():
+        return run_extraction_flow(cell, technology,
+                                    options=vco_options.flow)
+
+    flow = benchmark.pedantic(extract, rounds=1, iterations=1)
+
+    import time
+
+    start = time.perf_counter()
+    analysis = VcoImpactAnalysis(technology, options=vco_options,
+                                 flow_result=flow)
+    analysis.spur_sweep(vtune_values=(0.0,),
+                        noise_frequencies=np.asarray(NOISE_FREQUENCIES))
+    simulation_seconds = time.perf_counter() - start
+
+    rows = [
+        {"stage": "substrate extraction",
+         "seconds": flow.timings.substrate_extraction},
+        {"stage": "interconnect extraction",
+         "seconds": flow.timings.interconnect_extraction},
+        {"stage": "circuit extraction", "seconds": flow.timings.circuit_extraction},
+        {"stage": "model merge", "seconds": flow.timings.merge},
+        {"stage": "impact simulation (one V_tune sweep)",
+         "seconds": simulation_seconds},
+    ]
+    print_table("Section 6: flow runtime (paper: 20 min extraction + 15 min "
+                "simulation on 2005 hardware)", rows)
+
+    assert flow.timings.total_extraction > 0.0
+    assert simulation_seconds > 0.0
+    # The whole reproduction flow runs within minutes on current hardware.
+    assert flow.timings.total_extraction + simulation_seconds < 600.0

@@ -1,0 +1,54 @@
+"""Section 3 text values: gmb / gds ranges, junction capacitances, crossover.
+
+Paper: gmb = 10-38 mS and gds = 2.8-22 mS over the 0.5-1.6 V bias sweep,
+Cdbj = 120 fF, Csbj = 200 fF, substrate division 1/652 roughly doubled by the
+ground-wire resistance, junction-cap crossover between 5 and 19 GHz.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import measurements
+from repro.devices import MosfetGeometry, MosfetModel
+
+from _report import print_table
+
+
+def test_sec3_device_parameters(benchmark, technology, nmos_experiment):
+    result = nmos_experiment
+
+    rows = [
+        {"bias_v": float(b), "gmb_mS": float(g * 1e3), "gds_mS": float(d * 1e3),
+         "crossover_GHz": float(f / 1e9)}
+        for b, g, d, f in zip(result.bias, result.gmb, result.gds,
+                              result.crossover_frequencies)
+    ]
+    print_table("Section 3: RF NMOS small-signal parameters vs bias", rows)
+    print(f"substrate division to back-gate: 1/{1 / result.substrate_division:.0f} "
+          f"(paper: 1/652)")
+    print(f"division with ideal ground wire: "
+          f"1/{1 / max(result.substrate_division_ideal_ground, 1e-12):.0f}")
+
+    # gmb / gds ranges within ~2x of the measured bands.
+    assert measurements.NMOS_GMB_RANGE_S[0] / 2 < result.gmb[0] < measurements.NMOS_GMB_RANGE_S[0] * 3
+    assert measurements.NMOS_GMB_RANGE_S[1] / 2 < result.gmb[-1] < measurements.NMOS_GMB_RANGE_S[1] * 2
+    assert measurements.NMOS_GDS_RANGE_S[0] / 2 < result.gds[0] < measurements.NMOS_GDS_RANGE_S[0] * 3
+    assert measurements.NMOS_GDS_RANGE_S[1] / 2 < result.gds[-1] < measurements.NMOS_GDS_RANGE_S[1] * 2
+    # Crossover far above the substrate-noise band.
+    assert np.all(result.crossover_frequencies > 2e9)
+    # Substrate division within an order of magnitude of 1/652.
+    assert 1e-4 < result.substrate_division < 1e-2
+
+    # Junction capacitances of the 4 x 50 um device at zero bias.
+    model = MosfetModel(technology.mos_parameters("nmos_rf"),
+                        MosfetGeometry(width=200e-6, length=0.18e-6))
+
+    def evaluate_caps():
+        op = model.evaluate(0.5, 0.0, 0.0)
+        return op.cdb, op.csb
+
+    cdb, csb = benchmark(evaluate_caps)
+    print(f"Cdbj = {cdb * 1e15:.0f} fF (paper 120 fF), "
+          f"Csbj = {csb * 1e15:.0f} fF (paper 200 fF)")
+    assert cdb == pytest.approx(measurements.NMOS_CDBJ_F, rel=0.4)
+    assert csb == pytest.approx(measurements.NMOS_CSBJ_F, rel=0.4)

@@ -1,0 +1,16 @@
+"""Analysis helpers: noise waveforms, spectrum emulation, curve comparison."""
+
+from .waveforms import DigitalSwitchingNoise, SinusoidalNoise
+from .spectrum import Spectrum, compute_spectrum
+from .compare import CurveComparison, classify_mechanism, compare_curves, slope_per_decade
+
+__all__ = [
+    "CurveComparison",
+    "DigitalSwitchingNoise",
+    "SinusoidalNoise",
+    "Spectrum",
+    "classify_mechanism",
+    "compare_curves",
+    "compute_spectrum",
+    "slope_per_decade",
+]

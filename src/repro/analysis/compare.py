@@ -1,0 +1,101 @@
+"""Comparison of simulated curves against reference (measured) curves.
+
+The paper validates its methodology by overlaying measurement and simulation
+(Figures 3 and 8) and quoting a maximum error (1 dB for the NMOS structure,
+2 dB for the VCO).  The same bookkeeping is provided here: curves are
+interpolated onto a common axis, absolute/mean errors in dB are computed, and
+slopes are fitted to classify the coupling/modulation mechanism the way
+Section 5 of the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class CurveComparison:
+    """Error metrics between a simulated and a reference curve (both in dB)."""
+
+    axis: np.ndarray
+    reference_db: np.ndarray
+    simulated_db: np.ndarray
+
+    @property
+    def error_db(self) -> np.ndarray:
+        return self.simulated_db - self.reference_db
+
+    @property
+    def max_abs_error_db(self) -> float:
+        return float(np.max(np.abs(self.error_db)))
+
+    @property
+    def mean_abs_error_db(self) -> float:
+        return float(np.mean(np.abs(self.error_db)))
+
+    @property
+    def bias_db(self) -> float:
+        """Mean signed error (positive = simulation reads high)."""
+        return float(np.mean(self.error_db))
+
+    def within(self, tolerance_db: float) -> bool:
+        return self.max_abs_error_db <= tolerance_db
+
+
+def compare_curves(axis_ref: np.ndarray, reference_db: np.ndarray,
+                   axis_sim: np.ndarray, simulated_db: np.ndarray,
+                   log_axis: bool = False) -> CurveComparison:
+    """Interpolate the simulated curve onto the reference axis and compare."""
+    axis_ref = np.asarray(axis_ref, dtype=float)
+    reference_db = np.asarray(reference_db, dtype=float)
+    axis_sim = np.asarray(axis_sim, dtype=float)
+    simulated_db = np.asarray(simulated_db, dtype=float)
+    if axis_ref.shape != reference_db.shape or axis_sim.shape != simulated_db.shape:
+        raise AnalysisError("axis and curve shapes must match")
+    if len(axis_sim) < 2:
+        raise AnalysisError("simulated curve needs at least two points")
+    x_ref = np.log10(axis_ref) if log_axis else axis_ref
+    x_sim = np.log10(axis_sim) if log_axis else axis_sim
+    order = np.argsort(x_sim)
+    interpolated = np.interp(x_ref, x_sim[order], simulated_db[order])
+    return CurveComparison(axis=axis_ref, reference_db=reference_db,
+                           simulated_db=interpolated)
+
+
+def slope_per_decade(frequencies: np.ndarray, level_db: np.ndarray) -> float:
+    """Least-squares slope of a dB curve against log10(frequency), in dB/decade.
+
+    Used to classify the impact mechanism the way the paper's Section 5 does:
+    roughly -20 dB/decade means resistive coupling followed by FM, ~0 dB/decade
+    means either resistive+AM or capacitive+FM, +20 dB/decade capacitive+AM.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    level_db = np.asarray(level_db, dtype=float)
+    if frequencies.shape != level_db.shape or len(frequencies) < 2:
+        raise AnalysisError("need at least two points to fit a slope")
+    if np.any(frequencies <= 0):
+        raise AnalysisError("frequencies must be positive for a log slope")
+    log_f = np.log10(frequencies)
+    slope, _intercept = np.polyfit(log_f, level_db, 1)
+    return float(slope)
+
+
+def classify_mechanism(slope_db_per_decade: float,
+                       tolerance: float = 6.0) -> str:
+    """Map a spur-power slope to the paper's coupling/modulation mechanism.
+
+    * ~ -20 dB/dec : resistive coupling followed by FM (the paper's finding)
+    * ~   0 dB/dec : resistive+AM or capacitive+FM
+    * ~ +20 dB/dec : capacitive coupling followed by AM
+    """
+    if abs(slope_db_per_decade + 20.0) <= tolerance:
+        return "resistive coupling + FM"
+    if abs(slope_db_per_decade) <= tolerance:
+        return "resistive+AM or capacitive+FM"
+    if abs(slope_db_per_decade - 20.0) <= tolerance:
+        return "capacitive coupling + AM"
+    return "mixed / unclassified"

@@ -1,0 +1,102 @@
+"""Spectrum-analyzer emulation and spur extraction.
+
+The paper measures the VCO output with an HP 8565E spectrum analyzer and
+reports spur powers at ``f_c +/- f_noise``.  This module provides the same
+view for simulated waveforms: a windowed FFT calibrated so a sinusoid of
+amplitude ``A`` reads ``A^2 / (2 * R)`` watts, plus peak/spur search helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..units import watt_to_dbm
+
+
+@dataclass
+class Spectrum:
+    """Single-sided power spectrum of a real waveform."""
+
+    frequencies: np.ndarray            #: Hz
+    power_dbm: np.ndarray              #: dBm into ``impedance``
+    impedance: float = 50.0
+    resolution_bandwidth: float = 0.0  #: Hz (frequency bin spacing)
+
+    def power_at(self, frequency: float) -> float:
+        """Power (dBm) in the bin closest to ``frequency``."""
+        index = int(np.argmin(np.abs(self.frequencies - frequency)))
+        return float(self.power_dbm[index])
+
+    def peak_power_near(self, frequency: float, span: float) -> tuple[float, float]:
+        """(frequency, power_dbm) of the strongest bin within ``span`` of ``frequency``."""
+        mask = np.abs(self.frequencies - frequency) <= span / 2.0
+        if not np.any(mask):
+            raise AnalysisError("no spectrum bins in the requested span")
+        local_power = self.power_dbm[mask]
+        local_freq = self.frequencies[mask]
+        index = int(np.argmax(local_power))
+        return float(local_freq[index]), float(local_power[index])
+
+    def carrier(self) -> tuple[float, float]:
+        """(frequency, power_dbm) of the strongest spectral line."""
+        index = int(np.argmax(self.power_dbm))
+        return float(self.frequencies[index]), float(self.power_dbm[index])
+
+    def spur_powers(self, carrier_frequency: float, offset: float,
+                    search_span: float | None = None) -> tuple[float, float]:
+        """Spur power (dBm) at ``carrier_frequency -/+ offset`` (lower, upper)."""
+        span = search_span if search_span is not None else 4.0 * self.resolution_bandwidth
+        span = max(span, 2.0 * self.resolution_bandwidth)
+        _, lower = self.peak_power_near(carrier_frequency - offset, span)
+        _, upper = self.peak_power_near(carrier_frequency + offset, span)
+        return lower, upper
+
+    def total_spur_power_dbm(self, carrier_frequency: float, offset: float,
+                             search_span: float | None = None) -> float:
+        """Combined power of both sidebands in dBm (as plotted in Figure 8)."""
+        lower, upper = self.spur_powers(carrier_frequency, offset, search_span)
+        total_watt = 10 ** (lower / 10.0) * 1e-3 + 10 ** (upper / 10.0) * 1e-3
+        return float(watt_to_dbm(total_watt))
+
+
+def compute_spectrum(times: np.ndarray, waveform: np.ndarray,
+                     impedance: float = 50.0,
+                     window: str = "hann") -> Spectrum:
+    """Compute the calibrated single-sided power spectrum of a real waveform.
+
+    The window's coherent gain is divided out so that discrete tones read
+    their true power regardless of the window choice.
+    """
+    times = np.asarray(times, dtype=float)
+    waveform = np.asarray(waveform, dtype=float)
+    if times.ndim != 1 or times.shape != waveform.shape:
+        raise AnalysisError("times and waveform must be 1-D arrays of equal length")
+    if len(times) < 16:
+        raise AnalysisError("waveform too short for a meaningful spectrum")
+    dt = float(times[1] - times[0])
+    if dt <= 0:
+        raise AnalysisError("time axis must be increasing")
+
+    n = len(waveform)
+    if window == "hann":
+        win = np.hanning(n)
+    elif window == "rect":
+        win = np.ones(n)
+    else:
+        raise AnalysisError(f"unknown window {window!r}")
+    coherent_gain = win.sum() / n
+
+    spectrum = np.fft.rfft(waveform * win) / (n * coherent_gain)
+    amplitude = np.abs(spectrum)
+    amplitude[1:] *= 2.0          # single-sided
+    power_watt = amplitude ** 2 / (2.0 * impedance)
+    power_watt = np.maximum(power_watt, 1e-30)
+    frequencies = np.fft.rfftfreq(n, dt)
+    return Spectrum(frequencies=frequencies,
+                    power_dbm=10.0 * np.log10(power_watt / 1e-3),
+                    impedance=impedance,
+                    resolution_bandwidth=float(frequencies[1]) if len(frequencies) > 1 else 0.0)

@@ -1,0 +1,5 @@
+"""Reference data reconstructed from the paper's quoted numbers and figures."""
+
+from . import measurements
+
+__all__ = ["measurements"]

@@ -1,0 +1,13 @@
+"""Device models: MOSFET, accumulation-mode varactor, spiral inductor."""
+
+from .mosfet import MosfetGeometry, MosfetModel, MosfetOperatingPoint
+from .varactor import AccumulationModeVaractor
+from .inductor import SpiralInductor
+
+__all__ = [
+    "AccumulationModeVaractor",
+    "MosfetGeometry",
+    "MosfetModel",
+    "MosfetOperatingPoint",
+    "SpiralInductor",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the substrate-noise impact flow.
+
+Every stage of the methodology (layout handling, extraction, simulation,
+analysis) raises a subclass of :class:`ReproError`, so callers can catch the
+library's failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TechnologyError(ReproError):
+    """Invalid or inconsistent process-technology description."""
+
+
+class LayoutError(ReproError):
+    """Malformed layout: bad geometry, unknown layer, missing pin, ..."""
+
+
+class ExtractionError(ReproError):
+    """A parasitic or circuit extraction step failed."""
+
+
+class NetlistError(ReproError):
+    """Invalid netlist: unknown node, duplicate element, bad element value."""
+
+
+class SimulationError(ReproError):
+    """The impact simulator failed to assemble or solve the system."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative solve (DC Newton, transient step) did not converge."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing (spectrum, spur extraction, comparison) failed."""

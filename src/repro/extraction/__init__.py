@@ -1,0 +1,6 @@
+"""Circuit extraction and model merging (the glue of the paper's Figure-2 flow)."""
+
+from .circuit_extractor import ExtractedCircuit, extract_circuit
+from .merge import ImpactNetlist, merge_models
+
+__all__ = ["ExtractedCircuit", "ImpactNetlist", "extract_circuit", "merge_models"]

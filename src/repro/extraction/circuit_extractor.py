@@ -1,0 +1,115 @@
+"""Circuit extraction: layout device annotations -> netlist devices.
+
+This is the DIVA circuit-extraction role of the paper's flow: it walks the
+device annotations of a layout cell and produces the *device-level* netlist
+of the analog/RF circuit (MOSFETs, varactors, inductors).  The parasitic
+interconnect and substrate networks are extracted separately and merged in
+:mod:`repro.extraction.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.inductor import SpiralInductor
+from ..devices.mosfet import MosfetGeometry, MosfetModel
+from ..devices.varactor import AccumulationModeVaractor
+from ..errors import ExtractionError
+from ..layout.cell import Cell, DeviceAnnotation
+from ..netlist.circuit import Circuit
+from ..netlist.devices import MosfetElement, VaractorElement
+from ..technology.process import ProcessTechnology
+
+
+@dataclass
+class ExtractedCircuit:
+    """Device netlist of a layout cell plus per-device model handles."""
+
+    cell_name: str
+    circuit: Circuit
+    mosfets: dict[str, MosfetElement]
+    varactors: dict[str, VaractorElement]
+    inductors: dict[str, SpiralInductor]
+
+    def device_names(self) -> list[str]:
+        return sorted(list(self.mosfets) + list(self.varactors) + list(self.inductors))
+
+
+def _extract_mosfet(circuit: Circuit, annotation: DeviceAnnotation,
+                    technology: ProcessTechnology) -> MosfetElement:
+    if annotation.model is None:
+        raise ExtractionError(f"MOSFET {annotation.name!r} has no model card name")
+    parameters = technology.mos_parameters(annotation.model)
+    width = annotation.parameters.get("w")
+    length = annotation.parameters.get("l")
+    if not width or not length:
+        raise ExtractionError(f"MOSFET {annotation.name!r} is missing W/L parameters")
+    model = MosfetModel(parameters, MosfetGeometry(width=width, length=length))
+    terminals = annotation.terminals
+    element = MosfetElement(
+        name=annotation.name,
+        drain=terminals["d"], gate=terminals["g"],
+        source=terminals["s"], bulk=terminals["b"],
+        model=model)
+    circuit.add(element)
+    return element
+
+
+def _extract_varactor(circuit: Circuit, annotation: DeviceAnnotation
+                      ) -> VaractorElement:
+    p = annotation.parameters
+    model = AccumulationModeVaractor(
+        cmin=p.get("cmin", 0.6e-12), cmax=p.get("cmax", 1.6e-12),
+        v_half=p.get("v_half", 0.4), slope=p.get("slope", 4.0))
+    element = VaractorElement(
+        name=annotation.name,
+        gate=annotation.terminals["plus"],
+        well=annotation.terminals["minus"],
+        substrate=None,
+        model=model)
+    circuit.add(element)
+    return element
+
+
+def _extract_inductor(circuit: Circuit, annotation: DeviceAnnotation
+                      ) -> SpiralInductor:
+    p = annotation.parameters
+    model = SpiralInductor(
+        inductance=p["inductance"],
+        series_resistance=p.get("series_resistance", 1.0),
+        substrate_capacitance=p.get("substrate_capacitance", 120e-15))
+    plus = annotation.terminals["plus"]
+    minus = annotation.terminals["minus"]
+    mid = f"{annotation.name}__mid"
+    circuit.add_inductor(f"L_{annotation.name}", plus, mid, model.inductance)
+    circuit.add_resistor(f"R_{annotation.name}", mid, minus,
+                         max(model.series_resistance, 1e-3))
+    return model
+
+
+def extract_circuit(cell: Cell, technology: ProcessTechnology) -> ExtractedCircuit:
+    """Extract the device-level netlist of a layout cell."""
+    circuit = Circuit(name=f"{cell.name}__devices")
+    mosfets: dict[str, MosfetElement] = {}
+    varactors: dict[str, VaractorElement] = {}
+    inductors: dict[str, SpiralInductor] = {}
+
+    for annotation in cell.devices:
+        if annotation.device_type in ("nmos", "pmos"):
+            mosfets[annotation.name] = _extract_mosfet(circuit, annotation, technology)
+        elif annotation.device_type == "varactor":
+            varactors[annotation.name] = _extract_varactor(circuit, annotation)
+        elif annotation.device_type == "inductor":
+            inductors[annotation.name] = _extract_inductor(circuit, annotation)
+        elif annotation.device_type == "substrate_contact":
+            continue  # handled by the substrate extractor
+        else:
+            raise ExtractionError(
+                f"unknown device type {annotation.device_type!r} "
+                f"for device {annotation.name!r}")
+
+    if not circuit.elements:
+        raise ExtractionError(f"cell {cell.name!r} contains no extractable devices")
+    return ExtractedCircuit(cell_name=cell.name, circuit=circuit,
+                            mosfets=mosfets, varactors=varactors,
+                            inductors=inductors)

@@ -1,0 +1,131 @@
+"""Model merge: assemble the complete impact netlist.
+
+This is the box in the middle of the paper's Figure 2: the substrate
+macromodel, the interconnect parasitics, the device-level circuit and the
+package model are combined into one simulation netlist.  Substrate ports are
+attached to the circuit according to their kind:
+
+* TAP / INJECTION ports connect resistively to their net (through the
+  extracted contact resistance),
+* BACKGATE ports connect directly to the bulk net of their NMOS device,
+* WELL ports connect through the well-to-substrate junction capacitance,
+* INDUCTOR ports connect through half the coil-to-substrate oxide capacitance
+  to each coil terminal.
+
+The merged netlist is returned as an :class:`ImpactNetlist`, which records
+which node represents which physical entry point so the analysis code can
+measure the waveform on each of them (the paper's per-device impact
+decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExtractionError
+from ..interconnect.extraction import InterconnectExtraction
+from ..netlist.circuit import Circuit
+from ..package.model import PackageModel
+from ..substrate.extraction import PortKind, SubstrateExtraction
+from .circuit_extractor import ExtractedCircuit
+
+
+@dataclass
+class ImpactNetlist:
+    """The assembled impact netlist plus bookkeeping for the analysis code."""
+
+    circuit: Circuit
+    #: node that carries the injected substrate noise (the SUB contact net)
+    injection_node: str
+    #: substrate-port name -> circuit node carrying that port's waveform
+    port_nodes: dict[str, str] = field(default_factory=dict)
+    #: substrate-port name -> nets of the circuit it couples into
+    port_targets: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: names of elements that realise the coupling of each port (for ablation)
+    coupling_elements: dict[str, list[str]] = field(default_factory=dict)
+
+    def coupling_element_names(self, port: str) -> list[str]:
+        return list(self.coupling_elements.get(port, []))
+
+
+def merge_models(extracted: ExtractedCircuit,
+                 interconnect: InterconnectExtraction,
+                 substrate: SubstrateExtraction,
+                 package: PackageModel | None = None,
+                 substrate_cap_reference: str | None = None,
+                 name: str | None = None) -> ImpactNetlist:
+    """Merge all extracted models into a single impact netlist.
+
+    ``substrate_cap_reference`` names the node that receives the wire-to-
+    substrate capacitances of the interconnect model; it defaults to the node
+    of the local ground ring tap (the substrate under the circuit sits close
+    to that potential).
+    """
+    circuit = Circuit(name=name or f"{extracted.cell_name}__impact")
+
+    # 1. Device-level circuit.
+    circuit.merge(extracted.circuit)
+
+    # 2. Substrate macromodel: port node names.
+    port_nodes: dict[str, str] = {}
+    port_targets: dict[str, tuple[str, ...]] = {}
+    coupling_elements: dict[str, list[str]] = {}
+    injection_node: str | None = None
+
+    tap_ports = substrate.ports_of_kind(PortKind.TAP)
+    if substrate_cap_reference is None and tap_ports:
+        substrate_cap_reference = tap_ports[0].nets[0]
+
+    node_names: dict[str, str] = {}
+    for port in substrate.ports:
+        if port.kind in (PortKind.TAP, PortKind.INJECTION, PortKind.BACKGATE):
+            # Resistive ports connect straight to their circuit net.
+            node = port.nets[0]
+        else:
+            # Capacitive ports keep a dedicated substrate-side node.
+            node = f"sub:{port.name}"
+        node_names[port.name] = node
+        port_nodes[port.name] = node
+        port_targets[port.name] = port.nets
+        if port.kind is PortKind.INJECTION:
+            injection_node = port.nets[0]
+
+    if injection_node is None:
+        raise ExtractionError(
+            "substrate extraction contains no injection port (SUB contact)")
+
+    substrate_circuit = substrate.macromodel.to_circuit(node_names=node_names)
+    circuit.merge(substrate_circuit, prefix="sub")
+
+    # Capacitive couplings from substrate-side port nodes into the circuit.
+    for port in substrate.ports:
+        names: list[str] = []
+        if port.kind is PortKind.WELL:
+            element = circuit.add_capacitor(
+                f"Cwell_{port.device}", port_nodes[port.name], port.nets[0],
+                port.coupling_capacitance)
+            names.append(element.name)
+        elif port.kind is PortKind.INDUCTOR:
+            per_terminal = port.coupling_capacitance / max(len(port.nets), 1)
+            for net in port.nets:
+                element = circuit.add_capacitor(
+                    f"Cind_{port.device}_{net}", port_nodes[port.name], net,
+                    per_terminal)
+                names.append(element.name)
+        if names:
+            coupling_elements[port.name] = names
+
+    # 3. Interconnect parasitics.
+    interconnect_circuit = interconnect.to_circuit(
+        substrate_node=substrate_cap_reference, name="interconnect")
+    circuit.merge(interconnect_circuit, prefix="ic")
+    for wire in interconnect.wires:
+        coupling_elements.setdefault("interconnect", []).append(f"ic:Rw_{wire.name}")
+
+    # 4. Package / probe model.
+    if package is not None:
+        package.add_to_circuit(circuit)
+
+    return ImpactNetlist(circuit=circuit, injection_node=injection_node,
+                         port_nodes=port_nodes, port_targets=port_targets,
+                         coupling_elements=coupling_elements)

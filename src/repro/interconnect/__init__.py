@@ -1,0 +1,15 @@
+"""Interconnect parasitic extraction: wire resistance and substrate capacitance."""
+
+from .rcnetwork import WireRC
+from .extraction import (
+    InterconnectExtraction,
+    PIN_SNAP_TOLERANCE,
+    extract_interconnect,
+)
+
+__all__ = [
+    "InterconnectExtraction",
+    "PIN_SNAP_TOLERANCE",
+    "WireRC",
+    "extract_interconnect",
+]

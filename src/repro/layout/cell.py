@@ -1,0 +1,172 @@
+"""Layout cells: shapes grouped per layer, plus pins and device annotations.
+
+This is the "layout" input of the paper's Figure-2 flow.  A :class:`Cell`
+holds:
+
+* drawn shapes (:class:`~repro.layout.geometry.Rect` or
+  :class:`~repro.layout.geometry.Path`) per layer name,
+* :class:`Pin` locations that give electrical names to points of the layout
+  (the circuit extractor and the interconnect extractor hook nets onto pins),
+* :class:`DeviceAnnotation` records marking where devices (MOSFETs, varactors,
+  inductors) sit and which pins are their terminals.  A real flow would
+  recognise devices from layer interactions; annotating them keeps the
+  geometry honest (the shapes are still drawn) while making recognition
+  deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import LayoutError
+from .geometry import Path, Point, Rect, bounding_box
+
+Shape = Rect | Path
+
+
+@dataclass(frozen=True)
+class Pin:
+    """An electrical connection point of the layout.
+
+    Parameters
+    ----------
+    name:
+        Net name the pin belongs to (e.g. ``"VGND"``, ``"OUT"``).
+    layer:
+        Layer the pin sits on (e.g. ``"M1"``).
+    position:
+        Location of the pin in metres.
+    is_port:
+        True for pins that are externally accessible (pads, probe points);
+        ports become the observation/excitation nodes of the impact simulation.
+    """
+
+    name: str
+    layer: str
+    position: Point
+    is_port: bool = False
+
+
+@dataclass(frozen=True)
+class DeviceAnnotation:
+    """Marks an active or passive device instance in the layout.
+
+    ``device_type`` is one of ``"nmos"``, ``"pmos"``, ``"varactor"``,
+    ``"inductor"``, ``"resistor"``, ``"capacitor"``.  ``terminals`` maps
+    terminal names (``"d"``, ``"g"``, ``"s"``, ``"b"``, ``"plus"``, ...) to net
+    names.  ``parameters`` carries the electrical sizing (W, L, fingers, value,
+    ...), and ``footprint`` the occupied region used for substrate coupling.
+    """
+
+    name: str
+    device_type: str
+    terminals: dict[str, str]
+    parameters: dict[str, float]
+    footprint: Rect
+    model: str | None = None
+
+
+@dataclass
+class Cell:
+    """A named layout cell: shapes per layer, pins, and device annotations."""
+
+    name: str
+    shapes: dict[str, list[Shape]] = field(default_factory=dict)
+    pins: list[Pin] = field(default_factory=list)
+    devices: list[DeviceAnnotation] = field(default_factory=list)
+
+    def add_shape(self, layer: str, shape: Shape) -> Shape:
+        """Add a rectangle or path on the given layer."""
+        if not isinstance(shape, (Rect, Path)):
+            raise LayoutError(f"unsupported shape type {type(shape).__name__}")
+        self.shapes.setdefault(layer, []).append(shape)
+        return shape
+
+    def add_rect(self, layer: str, x0: float, y0: float, x1: float, y1: float) -> Rect:
+        return self.add_shape(layer, Rect(x0, y0, x1, y1))
+
+    def add_path(self, layer: str, xy: Iterable[tuple[float, float]], width: float) -> Path:
+        return self.add_shape(layer, Path.from_xy(list(xy), width))
+
+    def add_pin(self, name: str, layer: str, x: float, y: float,
+                is_port: bool = False) -> Pin:
+        pin = Pin(name=name, layer=layer, position=Point(x, y), is_port=is_port)
+        self.pins.append(pin)
+        return pin
+
+    def add_device(self, annotation: DeviceAnnotation) -> DeviceAnnotation:
+        if any(d.name == annotation.name for d in self.devices):
+            raise LayoutError(f"duplicate device name {annotation.name!r}")
+        self.devices.append(annotation)
+        return annotation
+
+    # -- queries -----------------------------------------------------------
+
+    def layers(self) -> list[str]:
+        """Names of all layers that carry at least one shape."""
+        return sorted(self.shapes)
+
+    def shapes_on(self, layer: str) -> list[Shape]:
+        return list(self.shapes.get(layer, []))
+
+    def rects_on(self, layer: str) -> list[Rect]:
+        """All shapes on a layer converted to rectangles (paths are segmented)."""
+        rects: list[Rect] = []
+        for shape in self.shapes.get(layer, []):
+            if isinstance(shape, Rect):
+                rects.append(shape)
+            else:
+                rects.extend(shape.segment_rects())
+        return rects
+
+    def pins_of_net(self, net: str) -> list[Pin]:
+        return [pin for pin in self.pins if pin.name == net]
+
+    def nets(self) -> list[str]:
+        """All net names referenced by pins or device terminals."""
+        names = {pin.name for pin in self.pins}
+        for device in self.devices:
+            names.update(device.terminals.values())
+        return sorted(names)
+
+    def ports(self) -> list[Pin]:
+        return [pin for pin in self.pins if pin.is_port]
+
+    def devices_of_type(self, device_type: str) -> list[DeviceAnnotation]:
+        return [d for d in self.devices if d.device_type == device_type]
+
+    def bbox(self) -> Rect:
+        """Bounding box over all drawn shapes."""
+        rects: list[Rect] = []
+        for layer_shapes in self.shapes.values():
+            for shape in layer_shapes:
+                rects.append(shape if isinstance(shape, Rect) else shape.bbox())
+        if not rects:
+            raise LayoutError(f"cell {self.name!r} has no shapes")
+        return bounding_box(rects)
+
+    def total_area(self, layer: str) -> float:
+        """Total drawn area on a layer (overlaps are not merged)."""
+        return sum(
+            shape.area if isinstance(shape, Rect) else shape.area()
+            for shape in self.shapes.get(layer, []))
+
+    def iter_shapes(self) -> Iterator[tuple[str, Shape]]:
+        for layer, layer_shapes in self.shapes.items():
+            for shape in layer_shapes:
+                yield layer, shape
+
+    def validate(self) -> None:
+        """Basic consistency checks: pins on drawn layers, devices inside bbox."""
+        drawn = set(self.shapes)
+        for pin in self.pins:
+            if pin.layer not in drawn:
+                raise LayoutError(
+                    f"pin {pin.name!r} references layer {pin.layer!r} with no shapes")
+        if self.devices:
+            box = self.bbox()
+            for device in self.devices:
+                if not box.intersects(device.footprint):
+                    raise LayoutError(
+                        f"device {device.name!r} footprint lies outside the cell")

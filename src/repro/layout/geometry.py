@@ -1,0 +1,210 @@
+"""Planar geometry primitives for the layout model.
+
+The extraction flow only needs rectilinear geometry: axis-aligned rectangles
+and orthogonal paths (wires).  Everything is kept in SI metres and plain
+floats so the geometry interoperates directly with the numpy-based extractors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in metres."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle defined by two opposite corners.
+
+    The constructor normalises the corners so that ``x0 <= x1`` and
+    ``y0 <= y1``; degenerate (zero-area) rectangles are rejected.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        # Normalise the corners (frozen dataclass, hence object.__setattr__).
+        x0, x1 = sorted((self.x0, self.x1))
+        y0, y1 = sorted((self.y0, self.y1))
+        object.__setattr__(self, "x0", x0)
+        object.__setattr__(self, "x1", x1)
+        object.__setattr__(self, "y0", y0)
+        object.__setattr__(self, "y1", y1)
+        if self.width <= 0 or self.height <= 0:
+            raise LayoutError(
+                f"rectangle must have positive area, got {self.width} x {self.height}")
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its centre point and dimensions."""
+        if width <= 0 or height <= 0:
+            raise LayoutError("width and height must be positive")
+        return cls(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Grow (or shrink for negative margin) the rectangle on all sides."""
+        grown = Rect(self.x0 - margin, self.y0 - margin,
+                     self.x1 + margin, self.y1 + margin)
+        return grown
+
+    def contains_point(self, point: Point, tol: float = 0.0) -> bool:
+        return (self.x0 - tol <= point.x <= self.x1 + tol
+                and self.y0 - tol <= point.y <= self.y1 + tol)
+
+    def intersects(self, other: "Rect", tol: float = 0.0) -> bool:
+        """True if the rectangles overlap or touch (within ``tol``)."""
+        return not (other.x0 > self.x1 + tol or other.x1 < self.x0 - tol
+                    or other.y0 > self.y1 + tol or other.y1 < self.y0 - tol)
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap rectangle, or ``None`` if the rectangles do not overlap."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of both rectangles."""
+        return Rect(min(self.x0, other.x0), min(self.y0, other.y0),
+                    max(self.x1, other.x1), max(self.y1, other.y1))
+
+    def overlap_area(self, other: "Rect") -> float:
+        overlap = self.intersection(other)
+        return overlap.area if overlap is not None else 0.0
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Bounding box of a collection of rectangles."""
+    rects = list(rects)
+    if not rects:
+        raise LayoutError("cannot compute bounding box of empty collection")
+    box = rects[0]
+    for rect in rects[1:]:
+        box = box.union_bbox(rect)
+    return box
+
+
+@dataclass(frozen=True)
+class Path:
+    """An orthogonal wire path with a constant width.
+
+    Consecutive points must differ in exactly one coordinate (Manhattan
+    routing).  The path can be converted to a list of segment rectangles used
+    both for drawing and for resistance extraction.
+    """
+
+    points: tuple[Point, ...]
+    width: float
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise LayoutError("a path needs at least two points")
+        if self.width <= 0:
+            raise LayoutError("path width must be positive")
+        for a, b in zip(self.points, self.points[1:]):
+            dx, dy = b.x - a.x, b.y - a.y
+            if dx != 0 and dy != 0:
+                raise LayoutError("path segments must be horizontal or vertical")
+            if dx == 0 and dy == 0:
+                raise LayoutError("path contains a zero-length segment")
+
+    @classmethod
+    def from_xy(cls, xy: Sequence[tuple[float, float]], width: float) -> "Path":
+        return cls(tuple(Point(x, y) for x, y in xy), width)
+
+    @property
+    def length(self) -> float:
+        """Centre-line length of the path."""
+        return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
+
+    def segments(self) -> Iterator[tuple[Point, Point]]:
+        for a, b in zip(self.points, self.points[1:]):
+            yield a, b
+
+    def segment_rects(self) -> list[Rect]:
+        """One rectangle per segment, expanded by half the width."""
+        half = self.width / 2
+        rects = []
+        for a, b in self.segments():
+            if a.x == b.x:   # vertical
+                y0, y1 = sorted((a.y, b.y))
+                rects.append(Rect(a.x - half, y0 - half, a.x + half, y1 + half))
+            else:            # horizontal
+                x0, x1 = sorted((a.x, b.x))
+                rects.append(Rect(x0 - half, a.y - half, x1 + half, a.y + half))
+        return rects
+
+    def bbox(self) -> Rect:
+        return bounding_box(self.segment_rects())
+
+    def translated(self, dx: float, dy: float) -> "Path":
+        return Path(tuple(p.translated(dx, dy) for p in self.points), self.width)
+
+    def squares(self) -> float:
+        """Number of resistance squares along the path (length / width).
+
+        Corner squares are counted once; this is the standard first-order
+        estimate used by layout parasitic extractors for Manhattan wires.
+        """
+        total = 0.0
+        for a, b in self.segments():
+            total += a.distance_to(b) / self.width
+        # Subtract half a square per corner to avoid double counting bends.
+        corners = max(0, len(self.points) - 2)
+        return max(total - 0.5 * corners, 0.0)
+
+    def area(self) -> float:
+        """Drawn metal area (approximate; bend overlaps counted once)."""
+        rects = self.segment_rects()
+        total = sum(r.area for r in rects)
+        for first, second in zip(rects, rects[1:]):
+            total -= first.overlap_area(second)
+        return total

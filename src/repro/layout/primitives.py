@@ -1,0 +1,327 @@
+"""Parameterised layout generators (p-cells).
+
+These helpers draw the recurring structures of the paper's test chips into a
+:class:`~repro.layout.cell.Cell`: straight wires, substrate-contact (guard)
+rings, multi-finger MOS transistors, accumulation-mode varactors, spiral
+inductors and bond pads.  Each generator draws real geometry *and* registers
+the matching :class:`~repro.layout.cell.DeviceAnnotation` / pins so the
+downstream extractors can work from the same cell.
+
+All dimensions are in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import LayoutError
+from .cell import Cell, DeviceAnnotation
+from .geometry import Path, Point, Rect
+
+
+def draw_wire(cell: Cell, layer: str, points: list[tuple[float, float]],
+              width: float, net: str, *, nodes: tuple[str, str] | None = None,
+              port_at_ends: bool = False) -> Path:
+    """Draw a Manhattan wire and pin both ends.
+
+    ``net`` names the electrical net of the wire.  By default both end pins
+    carry the net name; passing ``nodes=(a, b)`` labels the two ends with
+    distinct *node* names instead, which is how the layouts expose the
+    resistive split of a net (e.g. the on-chip ground between its local ring
+    node and its bond-pad node).  The interconnect extractor turns the wire
+    into a resistance between the two end nodes.
+
+    Returns the drawn :class:`Path`.  With ``port_at_ends`` the end pins are
+    marked as externally accessible ports.
+    """
+    path = cell.add_path(layer, points, width)
+    first, last = points[0], points[-1]
+    name_a, name_b = nodes if nodes is not None else (net, net)
+    cell.add_pin(name_a, layer, first[0], first[1], is_port=port_at_ends)
+    cell.add_pin(name_b, layer, last[0], last[1], is_port=port_at_ends)
+    return path
+
+
+def draw_bond_pad(cell: Cell, net: str, center: tuple[float, float],
+                  size: float = 80e-6, metal: str = "M6") -> Rect:
+    """Draw a bond pad: top-metal square plus pad-opening marker and a port pin."""
+    cx, cy = center
+    pad = Rect.from_center(cx, cy, size, size)
+    cell.add_shape(metal, pad)
+    cell.add_shape("PAD", Rect.from_center(cx, cy, size * 0.9, size * 0.9))
+    cell.add_pin(net, metal, cx, cy, is_port=True)
+    return pad
+
+
+def draw_substrate_contact_ring(cell: Cell, net: str, inner: Rect,
+                                ring_width: float = 2e-6,
+                                metal: str = "M1",
+                                name: str | None = None) -> list[Rect]:
+    """Draw a substrate-tap guard ring around ``inner``.
+
+    The ring consists of four rectangles of p+ tap (``PTAP``), contact cuts and
+    metal-1 on top, all tied to ``net``.  The paper's "MOS GR" (the ring of
+    contacts around the RF NMOS) and the outer "GR" of the measurement
+    structure are instances of this generator.
+
+    Returns the four metal rectangles forming the ring.
+    """
+    if ring_width <= 0:
+        raise LayoutError("ring width must be positive")
+    outer = inner.expanded(ring_width)
+    strips = [
+        Rect(outer.x0, inner.y1, outer.x1, outer.y1),   # top
+        Rect(outer.x0, outer.y0, outer.x1, inner.y0),   # bottom
+        Rect(outer.x0, inner.y0, inner.x0, inner.y1),   # left
+        Rect(inner.x1, inner.y0, outer.x1, inner.y1),   # right
+    ]
+    for strip in strips:
+        cell.add_shape("PTAP", strip)
+        cell.add_shape("CONT", strip)
+        cell.add_shape(metal, strip)
+    center_top = strips[0].center
+    cell.add_pin(net, metal, center_top.x, center_top.y)
+    annotation_name = name or f"guard_ring_{net}_{len(cell.devices)}"
+    cell.add_device(DeviceAnnotation(
+        name=annotation_name,
+        device_type="substrate_contact",
+        terminals={"tap": net},
+        parameters={
+            "ring_width": ring_width,
+            "perimeter": outer.perimeter,
+            "area": sum(s.area for s in strips),
+        },
+        footprint=outer,
+    ))
+    return strips
+
+
+def draw_substrate_tap_strip(cell: Cell, net: str, rect: Rect,
+                             name: str | None = None,
+                             metal: str = "M1") -> Rect:
+    """Draw a solid substrate-tap strip (p+ taps, contacts, metal) tied to ``net``.
+
+    Used for the tap rows placed between devices inside an analog block —
+    they keep the local substrate close to the local ground potential.
+    """
+    cell.add_shape("PTAP", rect)
+    cell.add_shape("CONT", rect)
+    cell.add_shape(metal, rect)
+    center = rect.center
+    cell.add_pin(net, metal, center.x, center.y)
+    annotation_name = name or f"tap_strip_{net}_{len(cell.devices)}"
+    cell.add_device(DeviceAnnotation(
+        name=annotation_name,
+        device_type="substrate_contact",
+        terminals={"tap": net},
+        parameters={"area": rect.area, "perimeter": rect.perimeter,
+                    "ring_width": min(rect.width, rect.height)},
+        footprint=rect,
+    ))
+    return rect
+
+
+def draw_substrate_injection_contact(cell: Cell, net: str,
+                                     center: tuple[float, float],
+                                     size: float = 20e-6) -> Rect:
+    """Draw the substrate-contact used to inject the noise signal (pad "SUB")."""
+    cx, cy = center
+    tap = Rect.from_center(cx, cy, size, size)
+    cell.add_shape("PTAP", tap)
+    cell.add_shape("CONT", tap)
+    cell.add_shape("M1", tap)
+    cell.add_pin(net, "M1", cx, cy, is_port=True)
+    cell.add_device(DeviceAnnotation(
+        name=f"sub_contact_{net}",
+        device_type="substrate_contact",
+        terminals={"tap": net},
+        parameters={"area": tap.area, "perimeter": tap.perimeter, "ring_width": size},
+        footprint=tap,
+    ))
+    return tap
+
+
+@dataclass(frozen=True)
+class MosfetLayoutSpec:
+    """Sizing of a multi-finger MOSFET layout."""
+
+    name: str
+    model: str                 #: technology model card name, e.g. "nmos_rf"
+    device_type: str           #: "nmos" or "pmos"
+    width_per_finger: float
+    length: float
+    fingers: int = 1
+    multiplier: int = 1        #: number of identical devices wired in parallel
+
+    def __post_init__(self) -> None:
+        if self.width_per_finger <= 0 or self.length <= 0:
+            raise LayoutError("MOS width and length must be positive")
+        if self.fingers < 1 or self.multiplier < 1:
+            raise LayoutError("fingers and multiplier must be >= 1")
+
+    @property
+    def total_width(self) -> float:
+        return self.width_per_finger * self.fingers * self.multiplier
+
+
+def draw_mosfet(cell: Cell, spec: MosfetLayoutSpec, origin: tuple[float, float],
+                terminals: dict[str, str], *, in_nwell: bool = False) -> DeviceAnnotation:
+    """Draw a folded multi-finger MOSFET and annotate it as a device.
+
+    ``terminals`` maps ``{"d", "g", "s", "b"}`` to net names.  The drawn
+    geometry is simplified (active area, poly fingers, source/drain contact
+    strips) but dimensionally realistic, so the substrate extractor sees the
+    correct footprint and the interconnect extractor can connect to the
+    terminal pins.
+    """
+    missing = {"d", "g", "s", "b"} - set(terminals)
+    if missing:
+        raise LayoutError(f"MOSFET {spec.name}: missing terminals {sorted(missing)}")
+    ox, oy = origin
+    finger_pitch = spec.length + 0.5e-6
+    active_width = spec.fingers * finger_pitch + 0.5e-6
+    active = Rect(ox, oy, ox + active_width, oy + spec.width_per_finger)
+    cell.add_shape("ACTIVE", active)
+    if in_nwell:
+        cell.add_shape("NWELL", active.expanded(0.6e-6))
+    implant = "PPLUS" if spec.device_type == "pmos" else "NPLUS"
+    cell.add_shape(implant, active.expanded(0.2e-6))
+
+    # Poly gate fingers.
+    for i in range(spec.fingers):
+        x = ox + 0.25e-6 + i * finger_pitch
+        cell.add_shape("POLY", Rect(x, oy - 0.3e-6, x + spec.length,
+                                    oy + spec.width_per_finger + 0.3e-6))
+    # Source / drain contact strips alternate between fingers.
+    for i in range(spec.fingers + 1):
+        x = ox + i * finger_pitch
+        strip = Rect(x, oy, x + 0.25e-6, oy + spec.width_per_finger)
+        cell.add_shape("CONT", strip)
+        cell.add_shape("M1", strip)
+
+    center = active.center
+    cell.add_pin(terminals["d"], "M1", active.x1, center.y)
+    cell.add_pin(terminals["s"], "M1", active.x0, center.y)
+    cell.add_pin(terminals["g"], "POLY", center.x, active.y1 + 0.3e-6)
+    cell.add_pin(terminals["b"], "M1", center.x, active.y0 - 1e-6)
+
+    annotation = DeviceAnnotation(
+        name=spec.name,
+        device_type=spec.device_type,
+        terminals=dict(terminals),
+        parameters={
+            "w": spec.total_width,
+            "l": spec.length,
+            "fingers": float(spec.fingers),
+            "multiplier": float(spec.multiplier),
+        },
+        footprint=active.expanded(0.6e-6),
+        model=spec.model,
+    )
+    cell.add_device(annotation)
+    return annotation
+
+
+def draw_varactor(cell: Cell, name: str, origin: tuple[float, float],
+                  terminals: dict[str, str], *, area: float = 400e-12,
+                  cmin: float = 0.6e-12, cmax: float = 1.6e-12,
+                  v_half: float = 0.4, slope: float = 4.0) -> DeviceAnnotation:
+    """Draw an accumulation-mode NMOS varactor inside an n-well.
+
+    ``terminals`` maps ``{"plus", "minus", "well"}`` to net names: ``plus`` is
+    the gate terminal (connected to the tank), ``minus`` the tuning terminal
+    and ``well`` the n-well body node that couples capacitively to the
+    substrate.  The C–V parameters are stored on the annotation and used by
+    :class:`repro.devices.varactor.AccumulationModeVaractor`.
+    """
+    missing = {"plus", "minus", "well"} - set(terminals)
+    if missing:
+        raise LayoutError(f"varactor {name}: missing terminals {sorted(missing)}")
+    ox, oy = origin
+    side = math.sqrt(area)
+    body = Rect(ox, oy, ox + side, oy + side)
+    cell.add_shape("NWELL", body.expanded(0.6e-6))
+    cell.add_shape("ACTIVE", body)
+    cell.add_shape("POLY", Rect.from_center(body.center.x, body.center.y,
+                                            side * 0.8, side * 0.8))
+    cell.add_pin(terminals["plus"], "POLY", body.center.x, body.center.y)
+    cell.add_pin(terminals["minus"], "M1", body.x1, body.center.y)
+    cell.add_pin(terminals["well"], "M1", body.x0, body.center.y)
+    annotation = DeviceAnnotation(
+        name=name,
+        device_type="varactor",
+        terminals=dict(terminals),
+        parameters={
+            "area": area,
+            "cmin": cmin,
+            "cmax": cmax,
+            "v_half": v_half,
+            "slope": slope,
+        },
+        footprint=body.expanded(0.6e-6),
+    )
+    cell.add_device(annotation)
+    return annotation
+
+
+def draw_spiral_inductor(cell: Cell, name: str, center: tuple[float, float],
+                         terminals: dict[str, str], *, inductance: float,
+                         series_resistance: float, outer_diameter: float = 200e-6,
+                         turns: float = 3.5, width: float = 10e-6,
+                         substrate_capacitance: float = 120e-15,
+                         q_factor: float = 8.0,
+                         metal: str = "M6") -> DeviceAnnotation:
+    """Draw a square spiral inductor on the top metal and annotate its model.
+
+    The drawn spiral is an octagonal-ish square approximation sufficient for
+    footprint/area bookkeeping; the electrical values (L, series R, substrate
+    capacitance — the paper's Cind = 120 fF per inductor) are carried on the
+    annotation and consumed by :class:`repro.devices.inductor.SpiralInductor`.
+    """
+    missing = {"plus", "minus"} - set(terminals)
+    if missing:
+        raise LayoutError(f"inductor {name}: missing terminals {sorted(missing)}")
+    cx, cy = center
+    half = outer_diameter / 2
+    n_rings = max(1, int(math.ceil(turns)))
+    pitch = (half - width) / max(n_rings, 1) * 0.8
+    # Rectangular spiral: each ring turns counter-clockwise and steps inward by
+    # one pitch; consecutive points always share an x or y coordinate so the
+    # path stays Manhattan.
+    # Pre-compute the ring offsets so consecutive rings share the exact same
+    # floating-point coordinate where they join (keeps the path Manhattan).
+    offsets = [half - ring * pitch for ring in range(n_rings + 1)]
+    points: list[tuple[float, float]] = []
+    for ring in range(n_rings):
+        offset = offsets[ring]
+        inner = offsets[ring + 1]
+        points.extend([
+            (cx - offset, cy - offset),
+            (cx - offset, cy + offset),
+            (cx + offset, cy + offset),
+            (cx + offset, cy - inner),
+        ])
+    # Final stub towards the centre to terminate the spiral.
+    points.append((cx, cy - offsets[n_rings]))
+    cell.add_path(metal, points, width)
+    cell.add_pin(terminals["plus"], metal, points[0][0], points[0][1])
+    cell.add_pin(terminals["minus"], metal, points[-1][0], points[-1][1])
+    footprint = Rect(cx - half, cy - half, cx + half, cy + half)
+    annotation = DeviceAnnotation(
+        name=name,
+        device_type="inductor",
+        terminals=dict(terminals),
+        parameters={
+            "inductance": inductance,
+            "series_resistance": series_resistance,
+            "substrate_capacitance": substrate_capacitance,
+            "q_factor": q_factor,
+            "outer_diameter": outer_diameter,
+            "turns": turns,
+            "width": width,
+        },
+        footprint=footprint,
+    )
+    cell.add_device(annotation)
+    return annotation

@@ -1,0 +1,38 @@
+"""Netlist model: circuits, linear elements, nonlinear devices, subcircuits."""
+
+from .stamping import GROUND, Stamper
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    SourceValue,
+    TwoTerminal,
+    VoltageControlledCurrentSource,
+    VoltageControlledVoltageSource,
+    VoltageSource,
+)
+from .devices import MosfetElement, NonlinearElement, VaractorElement
+from .circuit import Circuit
+from .subckt import Subcircuit
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "Element",
+    "GROUND",
+    "Inductor",
+    "MosfetElement",
+    "NonlinearElement",
+    "Resistor",
+    "SourceValue",
+    "Stamper",
+    "Subcircuit",
+    "TwoTerminal",
+    "VaractorElement",
+    "VoltageControlledCurrentSource",
+    "VoltageControlledVoltageSource",
+    "VoltageSource",
+]

@@ -1,0 +1,207 @@
+"""Linear netlist elements and independent sources.
+
+Each element carries its connectivity (node names), its value and knows how to
+stamp its *topology* into an MNA system through the
+:class:`~repro.netlist.stamping.Stamper` interface.  Source *values* depend on
+the analysis (DC level, AC phasor, transient waveform), so sources expose
+``dc``, ``ac`` and ``value_at(t)`` accessors that the analyses query while the
+topological stamp stays analysis-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import NetlistError
+from .stamping import GROUND, Stamper
+
+
+@dataclass
+class Element:
+    """Base class for all netlist elements."""
+
+    name: str
+
+    def nodes(self) -> tuple[str, ...]:
+        """Names of the nodes this element connects to."""
+        raise NotImplementedError
+
+    def branches(self) -> tuple[str, ...]:
+        """Extra MNA branch unknowns required by this element."""
+        return ()
+
+    def stamp(self, stamper: Stamper) -> None:
+        """Stamp the element's linear, analysis-independent contributions."""
+        raise NotImplementedError
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return False
+
+
+@dataclass
+class TwoTerminal(Element):
+    """An element with exactly two terminals."""
+
+    node_p: str = GROUND
+    node_n: str = GROUND
+
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_p, self.node_n)
+
+
+@dataclass
+class Resistor(TwoTerminal):
+    """Linear resistor; ``resistance`` in ohms must be positive."""
+
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0 or not math.isfinite(self.resistance):
+            raise NetlistError(f"resistor {self.name}: invalid value {self.resistance}")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def stamp(self, stamper: Stamper) -> None:
+        stamper.conductance(self.node_p, self.node_n, self.conductance)
+
+
+@dataclass
+class Capacitor(TwoTerminal):
+    """Linear capacitor; ``capacitance`` in farads must be non-negative."""
+
+    capacitance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0 or not math.isfinite(self.capacitance):
+            raise NetlistError(f"capacitor {self.name}: invalid value {self.capacitance}")
+
+    def stamp(self, stamper: Stamper) -> None:
+        if self.capacitance > 0:
+            stamper.capacitance(self.node_p, self.node_n, self.capacitance)
+
+
+@dataclass
+class Inductor(TwoTerminal):
+    """Linear inductor; adds one branch-current unknown to the MNA system."""
+
+    inductance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0 or not math.isfinite(self.inductance):
+            raise NetlistError(f"inductor {self.name}: invalid value {self.inductance}")
+
+    def branches(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def stamp(self, stamper: Stamper) -> None:
+        stamper.branch_inductor(self.name, self.node_p, self.node_n, self.inductance)
+
+
+@dataclass
+class VoltageControlledCurrentSource(Element):
+    """Transconductance ``gm``: current ``gm*(v_cp - v_cn)`` from node_p to node_n."""
+
+    node_p: str = GROUND
+    node_n: str = GROUND
+    ctrl_p: str = GROUND
+    ctrl_n: str = GROUND
+    gm: float = 0.0
+
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_p, self.node_n, self.ctrl_p, self.ctrl_n)
+
+    def stamp(self, stamper: Stamper) -> None:
+        stamper.vccs(self.node_p, self.node_n, self.ctrl_p, self.ctrl_n, self.gm)
+
+
+@dataclass
+class VoltageControlledVoltageSource(Element):
+    """Ideal voltage gain element ``v(node_p)-v(node_n) = gain*(v_cp - v_cn)``."""
+
+    node_p: str = GROUND
+    node_n: str = GROUND
+    ctrl_p: str = GROUND
+    ctrl_n: str = GROUND
+    gain: float = 1.0
+
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_p, self.node_n, self.ctrl_p, self.ctrl_n)
+
+    def branches(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def stamp(self, stamper: Stamper) -> None:
+        stamper.branch_vcvs(self.name, self.node_p, self.node_n,
+                            self.ctrl_p, self.ctrl_n, self.gain)
+
+
+Waveform = Callable[[float], float]
+
+
+@dataclass
+class SourceValue:
+    """Analysis-dependent value of an independent source.
+
+    ``dc`` is used by the operating-point analysis, ``ac_magnitude`` /
+    ``ac_phase_deg`` define the small-signal phasor, and ``waveform`` (a
+    callable of time, seconds) drives transient analysis.  When no waveform is
+    given the source holds its DC value during transient.
+    """
+
+    dc: float = 0.0
+    ac_magnitude: float = 0.0
+    ac_phase_deg: float = 0.0
+    waveform: Waveform | None = None
+
+    @property
+    def ac_phasor(self) -> complex:
+        phase = math.radians(self.ac_phase_deg)
+        return self.ac_magnitude * complex(math.cos(phase), math.sin(phase))
+
+    def value_at(self, time: float) -> float:
+        if self.waveform is not None:
+            return self.waveform(time)
+        return self.dc
+
+    @classmethod
+    def sine(cls, amplitude: float, frequency: float, dc_offset: float = 0.0,
+             phase_deg: float = 0.0) -> "SourceValue":
+        """A sinusoidal source usable in DC (offset), AC (phasor) and transient."""
+        phase = math.radians(phase_deg)
+
+        def waveform(t: float) -> float:
+            return dc_offset + amplitude * math.sin(2.0 * math.pi * frequency * t + phase)
+
+        return cls(dc=dc_offset, ac_magnitude=amplitude, ac_phase_deg=phase_deg,
+                   waveform=waveform)
+
+
+@dataclass
+class VoltageSource(TwoTerminal):
+    """Independent voltage source (DC / AC / transient)."""
+
+    value: SourceValue = field(default_factory=SourceValue)
+
+    def branches(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def stamp(self, stamper: Stamper) -> None:
+        # The topological stamp uses the DC value; analyses overwrite the RHS
+        # entry for this branch with the value they need (AC phasor, v(t)).
+        stamper.branch_voltage_source(self.name, self.node_p, self.node_n,
+                                      self.value.dc)
+
+
+@dataclass
+class CurrentSource(TwoTerminal):
+    """Independent current source; positive current flows node_p -> node_n."""
+
+    value: SourceValue = field(default_factory=SourceValue)
+
+    def stamp(self, stamper: Stamper) -> None:
+        stamper.current(self.node_p, self.node_n, self.value.dc)

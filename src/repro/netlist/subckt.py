@@ -1,0 +1,106 @@
+"""Hierarchical subcircuits and flattening.
+
+The extraction flow produces several partial netlists (substrate macromodel,
+interconnect RC networks, package, the circuit itself).  Each can be defined
+once as a :class:`Subcircuit` with formal ports and instantiated — possibly
+several times — into a parent circuit.  Instantiation flattens immediately:
+internal nodes and element names get a per-instance prefix, port nodes are
+mapped onto the parent's nets.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import NetlistError
+from .circuit import Circuit
+from .devices import MosfetElement, VaractorElement
+from .elements import (
+    Element,
+    TwoTerminal,
+    VoltageControlledCurrentSource,
+    VoltageControlledVoltageSource,
+)
+from .stamping import GROUND
+
+
+@dataclass
+class Subcircuit:
+    """A reusable circuit template with named ports."""
+
+    name: str
+    ports: tuple[str, ...]
+    circuit: Circuit
+
+    def __post_init__(self) -> None:
+        if len(set(self.ports)) != len(self.ports):
+            raise NetlistError(f"subcircuit {self.name!r}: duplicate port names")
+        known = set(self.circuit.nodes()) | {GROUND}
+        for port in self.ports:
+            if port not in known:
+                raise NetlistError(
+                    f"subcircuit {self.name!r}: port {port!r} is not a node of "
+                    "the template circuit")
+
+    def instantiate(self, parent: Circuit, instance_name: str,
+                    connections: Mapping[str, str]) -> list[Element]:
+        """Flatten one instance of this subcircuit into ``parent``.
+
+        ``connections`` maps port names to parent net names.  Internal nodes
+        are renamed to ``instance_name.node``; element names to
+        ``instance_name.element``.  Returns the list of elements added.
+        """
+        missing = set(self.ports) - set(connections)
+        if missing:
+            raise NetlistError(
+                f"instance {instance_name!r} of {self.name!r}: "
+                f"unconnected ports {sorted(missing)}")
+        unknown = set(connections) - set(self.ports)
+        if unknown:
+            raise NetlistError(
+                f"instance {instance_name!r} of {self.name!r}: "
+                f"unknown ports {sorted(unknown)}")
+
+        def map_node(node: str) -> str:
+            if node == GROUND:
+                return GROUND
+            if node in connections:
+                return connections[node]
+            return f"{instance_name}.{node}"
+
+        added: list[Element] = []
+        for element in self.circuit:
+            clone = copy.copy(element)
+            clone.name = f"{instance_name}.{element.name}"
+            _remap_element_nodes(clone, map_node)
+            parent.add(clone)
+            added.append(clone)
+        return added
+
+
+def _remap_element_nodes(element: Element, map_node) -> None:
+    """Rewrite an element's node attributes through ``map_node``."""
+    if isinstance(element, (VoltageControlledCurrentSource,
+                            VoltageControlledVoltageSource)):
+        element.node_p = map_node(element.node_p)
+        element.node_n = map_node(element.node_n)
+        element.ctrl_p = map_node(element.ctrl_p)
+        element.ctrl_n = map_node(element.ctrl_n)
+    elif isinstance(element, TwoTerminal):
+        element.node_p = map_node(element.node_p)
+        element.node_n = map_node(element.node_n)
+    elif isinstance(element, MosfetElement):
+        element.drain = map_node(element.drain)
+        element.gate = map_node(element.gate)
+        element.source = map_node(element.source)
+        element.bulk = map_node(element.bulk)
+    elif isinstance(element, VaractorElement):
+        element.gate = map_node(element.gate)
+        element.well = map_node(element.well)
+        if element.substrate is not None:
+            element.substrate = map_node(element.substrate)
+    else:
+        raise NetlistError(
+            f"cannot remap nodes of element type {type(element).__name__}")

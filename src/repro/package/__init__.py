@@ -1,0 +1,5 @@
+"""Package / probe parasitic models."""
+
+from .model import BondwireModel, Connection, PackageModel, RfProbeModel
+
+__all__ = ["BondwireModel", "Connection", "PackageModel", "RfProbeModel"]

@@ -1,0 +1,102 @@
+"""Package / probe parasitics.
+
+The paper's test chips are measured on-wafer with RF probes: the supply,
+ground and output connections reach the chip through probe tips rather than
+bondwires.  Both situations are covered here:
+
+* :class:`BondwireModel` — series resistance + inductance of a bondwire plus
+  the bond-pad capacitance (used when simulating a packaged part),
+* :class:`RfProbeModel` — the much smaller contact resistance and inductance
+  of a ground-signal-ground probe tip (the paper's measurement setup).
+
+A :class:`PackageModel` maps pad nodes to external nodes through one of these
+connection models and can stamp itself into the impact netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetlistError
+from ..netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class BondwireModel:
+    """Series R-L bondwire with a shunt pad capacitance."""
+
+    inductance: float = 2.0e-9       #: ~1 nH/mm for a 2 mm bondwire
+    resistance: float = 0.12         #: ohm
+    pad_capacitance: float = 150e-15
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0 or self.resistance <= 0:
+            raise NetlistError("bondwire inductance and resistance must be positive")
+
+
+@dataclass(frozen=True)
+class RfProbeModel:
+    """Ground-signal-ground probe contact: small series R and L."""
+
+    inductance: float = 50e-12
+    resistance: float = 0.05
+    pad_capacitance: float = 60e-15
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0 or self.resistance <= 0:
+            raise NetlistError("probe inductance and resistance must be positive")
+
+
+Connection = BondwireModel | RfProbeModel
+
+
+@dataclass
+class PackageModel:
+    """Maps on-chip pad nodes to external (board / instrument) nodes."""
+
+    name: str = "package"
+    connections: dict[str, tuple[str, Connection]] = field(default_factory=dict)
+
+    def connect(self, pad_node: str, external_node: str,
+                model: Connection | None = None) -> None:
+        """Register a pad-to-external connection (defaults to an RF probe)."""
+        self.connections[pad_node] = (external_node, model or RfProbeModel())
+
+    def add_to_circuit(self, circuit: Circuit) -> None:
+        """Stamp every registered connection into ``circuit``.
+
+        Each connection contributes a series R-L between the pad node and the
+        external node plus the pad capacitance from the pad node to ground.
+        """
+        if not self.connections:
+            raise NetlistError(f"package model {self.name!r} has no connections")
+        for pad_node, (external_node, model) in self.connections.items():
+            mid = f"{self.name}:{pad_node}__bw"
+            circuit.add_resistor(f"{self.name}:R_{pad_node}", pad_node, mid,
+                                 model.resistance)
+            circuit.add_inductor(f"{self.name}:L_{pad_node}", mid, external_node,
+                                 model.inductance)
+            if model.pad_capacitance > 0:
+                circuit.add_capacitor(f"{self.name}:Cpad_{pad_node}", pad_node,
+                                      "0", model.pad_capacitance)
+
+    @classmethod
+    def rf_probed(cls, pads_to_external: dict[str, str],
+                  name: str = "probe") -> "PackageModel":
+        """Convenience constructor: every pad connected through an RF probe."""
+        package = cls(name=name)
+        for pad, external in pads_to_external.items():
+            package.connect(pad, external, RfProbeModel())
+        return package
+
+    @classmethod
+    def bondwired(cls, pads_to_external: dict[str, str],
+                  name: str = "package") -> "PackageModel":
+        """Convenience constructor: every pad connected through a bondwire."""
+        package = cls(name=name)
+        for pad, external in pads_to_external.items():
+            package.connect(pad, external, BondwireModel())
+        return package
+
+
+__all__ = ["BondwireModel", "Connection", "PackageModel", "RfProbeModel"]

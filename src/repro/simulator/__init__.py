@@ -1,0 +1,25 @@
+"""Sparse-MNA circuit simulator: DC, AC, transfer-function and transient analyses."""
+
+from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .dc import DcOptions, DcSolution, dc_operating_point
+from .ac import AcSolution, ac_analysis
+from .transfer import TransferFunction, transfer_function
+from .transient import TransientOptions, TransientSolution, transient_analysis
+
+__all__ = [
+    "AcSolution",
+    "DcOptions",
+    "DcSolution",
+    "MatrixStamper",
+    "MnaStructure",
+    "SolutionView",
+    "TransferFunction",
+    "TransientOptions",
+    "TransientSolution",
+    "ac_analysis",
+    "dc_operating_point",
+    "solve_sparse",
+    "stamp_linear_elements",
+    "transfer_function",
+    "transient_analysis",
+]

@@ -1,0 +1,125 @@
+"""Small-signal AC analysis.
+
+The circuit is linearised around a DC operating point, then the complex MNA
+system ``(G + j*omega*C) x = b`` is solved at every requested frequency with
+the AC phasors of the independent sources on the right-hand side.
+
+This is the analysis used throughout the reproduction to compute the transfer
+from the substrate-noise injection source to the sensitive nodes of the
+circuit (back-gates, on-chip ground, tank nodes, output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..netlist.circuit import Circuit
+from ..netlist.devices import NonlinearElement
+from ..netlist.elements import CurrentSource, VoltageSource
+from .dc import DcOptions, DcSolution, dc_operating_point
+from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+
+
+@dataclass
+class AcSolution:
+    """Frequency-sweep result: complex node voltages at every frequency."""
+
+    circuit: Circuit
+    structure: MnaStructure
+    frequencies: np.ndarray              #: shape (F,)
+    vectors: np.ndarray                  #: shape (F, size), complex
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of ``node`` at every frequency."""
+        row = self.structure.node_row(node)
+        if row is None:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.vectors[:, row]
+
+    def voltage_between(self, node_p: str, node_n: str) -> np.ndarray:
+        return self.voltage(node_p) - self.voltage(node_n)
+
+    def magnitude_db(self, node: str, reference: float = 1.0) -> np.ndarray:
+        """Voltage magnitude in dB relative to ``reference`` volts."""
+        magnitude = np.abs(self.voltage(node))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-30) / reference)
+
+    def branch_current(self, branch: str) -> np.ndarray:
+        return self.vectors[:, self.structure.branch_row(branch)]
+
+    def at_frequency(self, frequency: float) -> SolutionView:
+        """Solution view at the frequency point closest to ``frequency``."""
+        index = int(np.argmin(np.abs(self.frequencies - frequency)))
+        return SolutionView(self.structure, self.vectors[index])
+
+
+def _small_signal_matrices(circuit: Circuit, structure: MnaStructure,
+                           operating_point: DcSolution | None):
+    """Build (G, C) with all nonlinear elements replaced by their linearisation."""
+    stamper = stamp_linear_elements(circuit, structure)
+    nonlinear = circuit.nonlinear_elements()
+    if nonlinear:
+        if operating_point is None:
+            raise SimulationError(
+                "circuit contains nonlinear elements: an operating point is required")
+        voltages = operating_point.voltages()
+        for element in nonlinear:
+            element.stamp_small_signal(stamper, voltages)
+    return stamper.conductance_matrix(), stamper.capacitance_matrix()
+
+
+def _ac_rhs(circuit: Circuit, structure: MnaStructure) -> np.ndarray:
+    """Right-hand side holding the AC phasors of the independent sources."""
+    rhs = np.zeros(structure.size, dtype=complex)
+    for element in circuit.sources():
+        if isinstance(element, VoltageSource):
+            rhs[structure.branch_row(element.name)] = element.value.ac_phasor
+        elif isinstance(element, CurrentSource):
+            phasor = element.value.ac_phasor
+            row_p = structure.node_row(element.node_p)
+            row_n = structure.node_row(element.node_n)
+            if row_p is not None:
+                rhs[row_p] -= phasor
+            if row_n is not None:
+                rhs[row_n] += phasor
+    return rhs
+
+
+def ac_analysis(circuit: Circuit, frequencies: np.ndarray | list[float],
+                operating_point: DcSolution | None = None,
+                dc_options: DcOptions | None = None,
+                gmin: float = 1e-12) -> AcSolution:
+    """Run an AC sweep over ``frequencies`` (hertz).
+
+    If the circuit contains nonlinear devices and no ``operating_point`` is
+    supplied, a DC operating point is solved first.
+    """
+    circuit.validate()
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    if frequencies.size == 0:
+        raise SimulationError("AC analysis needs at least one frequency point")
+    if np.any(frequencies < 0):
+        raise SimulationError("AC frequencies must be non-negative")
+
+    structure = MnaStructure.from_circuit(circuit)
+    if operating_point is None and circuit.nonlinear_elements():
+        operating_point = dc_operating_point(circuit, dc_options)
+
+    g_matrix, c_matrix = _small_signal_matrices(circuit, structure, operating_point)
+    # gmin to ground on every node row keeps otherwise-floating nodes solvable.
+    g_matrix = g_matrix.tolil()
+    for row in range(structure.n_nodes):
+        g_matrix[row, row] += gmin
+    g_matrix = g_matrix.tocsr()
+
+    rhs = _ac_rhs(circuit, structure)
+    vectors = np.zeros((frequencies.size, structure.size), dtype=complex)
+    for index, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        matrix = (g_matrix + 1j * omega * c_matrix).tocsr()
+        vectors[index] = solve_sparse(matrix, rhs)
+    return AcSolution(circuit=circuit, structure=structure,
+                      frequencies=frequencies, vectors=vectors)

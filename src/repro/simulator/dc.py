@@ -1,0 +1,147 @@
+"""DC operating-point analysis (Newton-Raphson).
+
+The operating point is the starting point of every impact simulation: the
+small-signal parameters of the MOSFETs (gm, gds, gmb) and the varactor
+capacitances — and therefore the sensitivity of the circuit to substrate
+noise — are evaluated at the DC solution.
+
+The solver uses plain Newton-Raphson with source stepping as a fallback:
+if the full-source solve fails to converge, the independent sources are
+ramped from zero in a few steps, using each converged solution as the next
+initial guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..netlist.circuit import Circuit
+from ..netlist.devices import NonlinearElement
+from ..netlist.elements import CurrentSource, VoltageSource
+from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+
+
+@dataclass
+class DcSolution:
+    """Result of a DC operating-point analysis."""
+
+    circuit: Circuit
+    structure: MnaStructure
+    vector: np.ndarray
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        return float(SolutionView(self.structure, self.vector).voltage(node))
+
+    def voltages(self) -> dict[str, float]:
+        return {k: float(v)
+                for k, v in SolutionView(self.structure, self.vector).voltages().items()}
+
+    def branch_current(self, branch: str) -> float:
+        return float(SolutionView(self.structure, self.vector).branch_current(branch))
+
+    def operating_point_of(self, element_name: str):
+        """Operating point of a nonlinear element (e.g. a MOSFET) at the DC solution."""
+        element = self.circuit[element_name]
+        if not isinstance(element, NonlinearElement):
+            raise ConvergenceError(f"{element_name!r} is not a nonlinear element")
+        return element.operating_point(self.voltages())
+
+
+@dataclass
+class DcOptions:
+    """Newton iteration controls."""
+
+    max_iterations: int = 150
+    abs_tolerance: float = 1e-9     #: volts
+    rel_tolerance: float = 1e-6
+    damping: float = 1.0            #: Newton step scaling (1.0 = full step)
+    source_steps: int = 8           #: ramp steps used by the source-stepping fallback
+    gmin: float = 1e-12             #: conductance added from every node to ground
+
+
+def _fill_source_rhs(stamper: MatrixStamper, circuit: Circuit,
+                     scale: float = 1.0) -> None:
+    """Overwrite the RHS with the (possibly scaled) DC source values."""
+    stamper.rhs[:] = 0.0
+    for element in circuit.sources():
+        if isinstance(element, VoltageSource):
+            row = stamper.structure.branch_row(element.name)
+            stamper.rhs[row] = scale * element.value.dc
+        elif isinstance(element, CurrentSource):
+            value = scale * element.value.dc
+            row_p = stamper.structure.node_row(element.node_p)
+            row_n = stamper.structure.node_row(element.node_n)
+            if row_p is not None:
+                stamper.rhs[row_p] -= value
+            if row_n is not None:
+                stamper.rhs[row_n] += value
+
+
+def _newton_solve(circuit: Circuit, structure: MnaStructure,
+                  linear: MatrixStamper, options: DcOptions,
+                  initial: np.ndarray, source_scale: float) -> tuple[np.ndarray, int]:
+    """Newton iteration at a fixed source scaling; returns (solution, iterations)."""
+    x = initial.copy()
+    view = SolutionView(structure, x)
+    nonlinear = circuit.nonlinear_elements()
+    n_nodes = structure.n_nodes
+
+    for iteration in range(1, options.max_iterations + 1):
+        stamper = linear.copy()
+        _fill_source_rhs(stamper, circuit, scale=source_scale)
+        voltages = {name: float(x[row])
+                    for name, row in structure.node_index.items()}
+        for element in nonlinear:
+            element.stamp_companion(stamper, voltages)
+        # gmin from every node to ground keeps floating nodes solvable.
+        matrix = stamper.conductance_matrix().tolil()
+        for row in range(n_nodes):
+            matrix[row, row] += options.gmin
+        x_new = solve_sparse(matrix.tocsr(), stamper.rhs)
+        delta = x_new - x
+        x = x + options.damping * delta
+        max_delta = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0
+        max_value = float(np.max(np.abs(x[:n_nodes]))) if n_nodes else 0.0
+        if max_delta <= options.abs_tolerance + options.rel_tolerance * max_value:
+            return x, iteration
+    raise ConvergenceError(
+        f"DC Newton did not converge in {options.max_iterations} iterations "
+        f"(last max voltage update {max_delta:.3e} V)")
+
+
+def dc_operating_point(circuit: Circuit, options: DcOptions | None = None) -> DcSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Linear circuits converge in a single iteration.  For nonlinear circuits,
+    plain Newton is attempted first; on failure the independent sources are
+    ramped up in ``options.source_steps`` steps (source stepping).
+    """
+    options = options or DcOptions()
+    circuit.validate()
+    structure = MnaStructure.from_circuit(circuit)
+    linear = stamp_linear_elements(circuit, structure)
+    initial = np.zeros(structure.size)
+
+    try:
+        vector, iterations = _newton_solve(circuit, structure, linear, options,
+                                           initial, source_scale=1.0)
+        return DcSolution(circuit=circuit, structure=structure,
+                          vector=vector, iterations=iterations)
+    except ConvergenceError:
+        pass
+
+    # Source stepping fallback.
+    vector = initial
+    total_iterations = 0
+    for step in range(1, options.source_steps + 1):
+        scale = step / options.source_steps
+        vector, iterations = _newton_solve(circuit, structure, linear, options,
+                                           vector, source_scale=scale)
+        total_iterations += iterations
+    return DcSolution(circuit=circuit, structure=structure,
+                      vector=vector, iterations=total_iterations)

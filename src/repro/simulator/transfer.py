@@ -1,0 +1,93 @@
+"""Transfer-function analysis.
+
+Computes the small-signal transfer ``H(f) = V(observe) / source`` from one
+independent source to any set of observation nodes.  This is the workhorse of
+the impact methodology: the transfer from the substrate-injection source to
+every sensitive node (back-gate, on-chip ground, tank, output) is a transfer
+function of this kind — the paper's ``h_sub^i`` factors.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..netlist.circuit import Circuit
+from ..netlist.elements import CurrentSource, SourceValue, VoltageSource
+from .ac import AcSolution, ac_analysis
+from .dc import DcOptions, DcSolution
+
+
+@dataclass
+class TransferFunction:
+    """Transfer from one source to several observation nodes over frequency."""
+
+    source_name: str
+    frequencies: np.ndarray
+    transfers: dict[str, np.ndarray]      #: node -> complex H(f), shape (F,)
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.transfers[node])
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.maximum(self.magnitude(node), 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.transfers[node]))
+
+    def at(self, node: str, frequency: float) -> complex:
+        """Transfer to ``node`` at the frequency point closest to ``frequency``."""
+        index = int(np.argmin(np.abs(self.frequencies - frequency)))
+        return complex(self.transfers[node][index])
+
+    def nodes(self) -> list[str]:
+        return list(self.transfers)
+
+
+def _activate_only(circuit: Circuit, source_name: str) -> Circuit:
+    """Copy the circuit with unit AC drive on ``source_name`` and all other
+    independent sources' AC values set to zero (their DC values are kept so the
+    operating point is unchanged)."""
+    clone = Circuit(name=f"{circuit.name}__tf_{source_name}")
+    found = False
+    for element in circuit:
+        element_copy = copy.copy(element)
+        if isinstance(element_copy, (VoltageSource, CurrentSource)):
+            value = element_copy.value
+            if element_copy.name == source_name:
+                found = True
+                new_value = SourceValue(dc=value.dc, ac_magnitude=1.0,
+                                        ac_phase_deg=0.0, waveform=value.waveform)
+            else:
+                new_value = SourceValue(dc=value.dc, ac_magnitude=0.0,
+                                        ac_phase_deg=0.0, waveform=value.waveform)
+            element_copy.value = new_value
+        clone.add(element_copy)
+    if not found:
+        raise SimulationError(f"no independent source named {source_name!r}")
+    return clone
+
+
+def transfer_function(circuit: Circuit, source_name: str,
+                      observe_nodes: list[str],
+                      frequencies: np.ndarray | list[float],
+                      operating_point: DcSolution | None = None,
+                      dc_options: DcOptions | None = None) -> TransferFunction:
+    """Compute ``V(node)/source`` for each node in ``observe_nodes``.
+
+    The drive is applied as a unit AC excitation on the named independent
+    source (voltage sources: 1 V, current sources: 1 A), so the returned
+    transfers are in V/V or V/A respectively.
+    """
+    if not observe_nodes:
+        raise SimulationError("at least one observation node is required")
+    working = _activate_only(circuit, source_name)
+    ac = ac_analysis(working, frequencies, operating_point=operating_point,
+                     dc_options=dc_options)
+    transfers = {node: ac.voltage(node) for node in observe_nodes}
+    return TransferFunction(source_name=source_name,
+                            frequencies=np.asarray(ac.frequencies),
+                            transfers=transfers)

@@ -1,0 +1,31 @@
+"""Process-technology description: layers, substrate profile, device cards."""
+
+from .layers import Layer, LayerPurpose, LayerStack, ViaDefinition
+from .process import (
+    EPSILON_0,
+    EPSILON_R_SI,
+    EPSILON_R_SIO2,
+    MosParameters,
+    ProcessTechnology,
+    SubstrateLayer,
+    SubstrateProfile,
+    WellParameters,
+)
+from .cmos018 import TECHNOLOGY_NAME, make_technology
+
+__all__ = [
+    "EPSILON_0",
+    "EPSILON_R_SI",
+    "EPSILON_R_SIO2",
+    "Layer",
+    "LayerPurpose",
+    "LayerStack",
+    "MosParameters",
+    "ProcessTechnology",
+    "SubstrateLayer",
+    "SubstrateProfile",
+    "TECHNOLOGY_NAME",
+    "ViaDefinition",
+    "WellParameters",
+    "make_technology",
+]

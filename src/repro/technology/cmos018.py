@@ -1,0 +1,200 @@
+"""Synthetic 0.18 um 1P6M high-ohmic twin-well CMOS technology.
+
+The paper's test chips are fabricated in a 0.18 um 1-poly / 6-metal CMOS
+technology on a high-ohmic (20 ohm·cm) substrate.  The foundry data is not
+public, so this module defines a synthetic technology tuned to the quantities
+the paper quotes:
+
+* 20 ohm·cm bulk resistivity (high-ohmic substrate, no low-ohmic epi),
+* twin-well (explicit n-well and p-well with junction capacitances),
+* six metal layers with representative sheet resistances (thin lower metals,
+  a thick top metal for inductors),
+* junction capacitances that reproduce the paper's device values
+  (Cdbj = 120 fF, Csbj = 200 fF for the 4-finger RF NMOS; Cind = 120 fF per
+  inductor),
+* device transconductances in the measured range (gmb = 10-38 mS,
+  gds = 2.8-22 mS for the parallel combination of four RF NMOS devices biased
+  between 0.5 V and 1.6 V).
+
+All numbers are representative of a generic 0.18 um node and documented where
+they are anchored to a value in the paper.
+"""
+
+from __future__ import annotations
+
+from .layers import Layer, LayerPurpose, LayerStack, ViaDefinition
+from .process import (
+    MosParameters,
+    ProcessTechnology,
+    SubstrateLayer,
+    SubstrateProfile,
+    WellParameters,
+)
+
+#: Name under which the synthetic technology registers itself.
+TECHNOLOGY_NAME = "cmos018-1p6m-high-ohmic"
+
+
+def _build_layer_stack() -> LayerStack:
+    """Six-metal back-end stack with representative 0.18 um parameters."""
+    stack = LayerStack()
+
+    # Front-end layers (inside or at the silicon surface).
+    stack.add_layer(Layer("NWELL", LayerPurpose.NWELL, gds_number=1))
+    stack.add_layer(Layer("PWELL", LayerPurpose.PWELL, gds_number=2))
+    stack.add_layer(Layer("ACTIVE", LayerPurpose.DIFFUSION, gds_number=3,
+                          sheet_resistance=7.0, thickness=0.2e-6))
+    stack.add_layer(Layer("NPLUS", LayerPurpose.NPLUS, gds_number=4))
+    stack.add_layer(Layer("PPLUS", LayerPurpose.PPLUS, gds_number=5))
+    stack.add_layer(Layer("PTAP", LayerPurpose.SUBSTRATE_TAP, gds_number=6))
+    stack.add_layer(Layer("POLY", LayerPurpose.POLY, gds_number=10,
+                          sheet_resistance=8.0, thickness=0.2e-6,
+                          height_above_substrate=0.0))
+
+    # Metal stack: heights above the silicon surface and thicknesses chosen so
+    # that M1 sits ~0.6 um above the substrate and the thick top metal (M6,
+    # used for inductors) ~4.3 um above it.  Sheet resistances are typical for
+    # the node: ~78 mohm/sq thin copper/aluminium metals, 25 mohm/sq thick M6.
+    metal_data = [
+        ("M1", 0.60e-6, 0.30e-6, 0.078),
+        ("M2", 1.25e-6, 0.35e-6, 0.078),
+        ("M3", 1.95e-6, 0.35e-6, 0.078),
+        ("M4", 2.65e-6, 0.35e-6, 0.078),
+        ("M5", 3.35e-6, 0.45e-6, 0.060),
+        ("M6", 4.30e-6, 0.90e-6, 0.025),
+    ]
+    for index, (name, height, thickness, rsheet) in enumerate(metal_data, start=31):
+        stack.add_layer(Layer(name, LayerPurpose.METAL, gds_number=index,
+                              sheet_resistance=rsheet, thickness=thickness,
+                              height_above_substrate=height))
+
+    # Pad opening marker layer.
+    stack.add_layer(Layer("PAD", LayerPurpose.PAD, gds_number=60))
+
+    # Contacts and vias: resistance per cut typical for the node.
+    stack.add_layer(Layer("CONT", LayerPurpose.CONTACT, gds_number=20))
+    stack.add_via(ViaDefinition("CONT", bottom="ACTIVE", top="M1",
+                                resistance_per_cut=8.0,
+                                cut_size=0.22e-6, cut_pitch=0.50e-6))
+    via_data = [
+        ("VIA1", "M1", "M2", 4.0),
+        ("VIA2", "M2", "M3", 4.0),
+        ("VIA3", "M3", "M4", 4.0),
+        ("VIA4", "M4", "M5", 3.0),
+        ("VIA5", "M5", "M6", 1.5),
+    ]
+    for index, (name, bottom, top, r_cut) in enumerate(via_data, start=41):
+        stack.add_layer(Layer(name, LayerPurpose.VIA, gds_number=index))
+        stack.add_via(ViaDefinition(name, bottom=bottom, top=top,
+                                    resistance_per_cut=r_cut,
+                                    cut_size=0.26e-6, cut_pitch=0.56e-6))
+    return stack
+
+
+def _build_substrate_profile() -> SubstrateProfile:
+    """High-ohmic (20 ohm·cm) bulk without a low-ohmic epi layer.
+
+    The paper stresses that the technology is *high-ohmic*: there is no
+    heavily doped bulk shorting everything together, which is why lateral
+    substrate resistances are large (the quoted 1/652 voltage division from
+    the injection contact to the NMOS back-gate) and why local ground wiring
+    matters.  A thin, slightly lower-resistivity surface layer represents the
+    channel-stop / well implant region.
+    """
+    return SubstrateProfile(layers=(
+        SubstrateLayer("surface-implant", thickness=2.0e-6, resistivity=0.05),
+        SubstrateLayer("bulk-high-ohmic", thickness=298.0e-6, resistivity=0.20),
+    ), backside_contact=False)
+
+
+def _build_mos_parameters() -> dict[str, MosParameters]:
+    """NMOS / PMOS model cards tuned to the paper's measured device values.
+
+    The paper's RF NMOS (four devices in parallel) exhibits
+    gmb = 10-38 mS and gds = 2.8-22 mS over a 0.5-1.6 V bias sweep with
+    junction capacitances Cdbj = 120 fF and Csbj = 200 fF.  The parameters
+    below reproduce those ranges for a 4 x (W=50 um / L=0.18 um) device (see
+    ``tests/test_devices_mosfet.py`` and the section-3 benchmark).
+    """
+    # The NMOS card is calibrated against the paper's measured small-signal
+    # ranges (gmb = 10-38 mS, gds = 2.8-22 mS for the 4 x 50 um RF NMOS over a
+    # 0.5-1.6 V bias sweep).  kp / vth0 / gamma / lambda / esat are therefore
+    # *effective* values chosen by that calibration rather than generic
+    # foundry numbers; lambda in particular absorbs DIBL of the
+    # minimum-length device.
+    nmos = MosParameters(
+        name="nmos_rf",
+        polarity="nmos",
+        vth0=0.25,
+        kp=100e-6,
+        lambda_=1.2,
+        gamma=1.1,
+        phi=0.85,
+        tox=4.1e-9,
+        esat=2.3e6,
+        cj=0.8e-3,          # F/m^2   (-> Cdbj ~ 120 fF for the 4x50 um NMOS)
+        cjsw=0.8e-10,       # F/m
+        cgdo=3.7e-10,       # F/m
+        cgso=3.7e-10,       # F/m
+        pb=0.80,
+        mj=0.45,
+        l_min=0.18e-6,
+    )
+    pmos = MosParameters(
+        name="pmos_rf",
+        polarity="pmos",
+        vth0=-0.42,
+        kp=110e-6,
+        lambda_=0.30,
+        gamma=0.48,
+        phi=0.85,
+        tox=4.1e-9,
+        cj=0.9e-3,
+        cjsw=0.9e-10,
+        cgdo=3.5e-10,
+        cgso=3.5e-10,
+        pb=0.85,
+        mj=0.45,
+        l_min=0.18e-6,
+    )
+    return {"nmos_rf": nmos, "pmos_rf": pmos}
+
+
+def _build_wells() -> dict[str, WellParameters]:
+    """Well junction capacitance densities for the twin-well process.
+
+    Tuned so the n-well under the paper's PMOS pair and varactor couples to
+    the substrate with a capacitance *lower* than the 120 fF inductor-to-
+    substrate capacitance, matching the paper's ordering of the negligible
+    capacitive paths (Section 6).
+    """
+    return {
+        "nwell": WellParameters(
+            name="nwell",
+            junction_cap_area=0.12e-3,      # F/m^2
+            junction_cap_perimeter=0.5e-9,  # F/m
+            depth=1.5e-6,
+            sheet_resistance=900.0,
+        ),
+        "pwell": WellParameters(
+            name="pwell",
+            junction_cap_area=0.10e-3,
+            junction_cap_perimeter=0.4e-9,
+            depth=1.2e-6,
+            sheet_resistance=600.0,
+        ),
+    }
+
+
+def make_technology() -> ProcessTechnology:
+    """Create the synthetic 0.18 um 1P6M high-ohmic CMOS technology."""
+    return ProcessTechnology(
+        name=TECHNOLOGY_NAME,
+        layer_stack=_build_layer_stack(),
+        substrate=_build_substrate_profile(),
+        mos=_build_mos_parameters(),
+        wells=_build_wells(),
+        substrate_contact_resistance=5.0,
+        feature_size=0.18e-6,
+        supply_voltage=1.8,
+    )

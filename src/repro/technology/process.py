@@ -1,0 +1,236 @@
+"""Process technology description.
+
+The technology object bundles everything the extractors need:
+
+* the metal/via :class:`~repro.technology.layers.LayerStack` with sheet
+  resistances and dielectric heights (interconnect extraction),
+* the vertical substrate doping profile (substrate extraction),
+* MOS device parameters (circuit extraction / device models),
+* junction and well capacitance densities (coupling-path extraction).
+
+Units are SI throughout: metres, ohm·metre, farad per square metre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TechnologyError
+from .layers import Layer, LayerStack
+
+#: Vacuum permittivity in F/m.
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of silicon dioxide (inter-metal dielectric).
+EPSILON_R_SIO2 = 3.9
+
+#: Relative permittivity of silicon (substrate, depletion regions).
+EPSILON_R_SI = 11.7
+
+
+@dataclass(frozen=True)
+class SubstrateLayer:
+    """One horizontal slab of the vertical substrate doping profile.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"p-epi"`` or ``"bulk"``.
+    thickness:
+        Slab thickness in metres.  The last (deepest) layer may be given a
+        large thickness to represent the bulk down to the backside contact.
+    resistivity:
+        Resistivity in ohm·metre (the paper's 20 ohm·cm bulk is 0.20 ohm·m).
+    """
+
+    name: str
+    thickness: float
+    resistivity: float
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0:
+            raise TechnologyError(f"substrate layer {self.name}: thickness must be > 0")
+        if self.resistivity <= 0:
+            raise TechnologyError(f"substrate layer {self.name}: resistivity must be > 0")
+
+    @property
+    def conductivity(self) -> float:
+        """Conductivity in S/m."""
+        return 1.0 / self.resistivity
+
+    @property
+    def sheet_resistance(self) -> float:
+        """Sheet resistance of the slab in ohm/square (lateral conduction)."""
+        return self.resistivity / self.thickness
+
+
+@dataclass(frozen=True)
+class SubstrateProfile:
+    """Vertical stack of :class:`SubstrateLayer` from the surface downwards."""
+
+    layers: tuple[SubstrateLayer, ...]
+    backside_contact: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise TechnologyError("substrate profile needs at least one layer")
+
+    @property
+    def total_thickness(self) -> float:
+        return sum(layer.thickness for layer in self.layers)
+
+    def layer_at_depth(self, depth: float) -> SubstrateLayer:
+        """Return the slab containing the given depth below the surface."""
+        if depth < 0:
+            raise TechnologyError("depth must be non-negative")
+        remaining = depth
+        for layer in self.layers:
+            if remaining <= layer.thickness:
+                return layer
+            remaining -= layer.thickness
+        return self.layers[-1]
+
+    def resistivity_at_depth(self, depth: float) -> float:
+        return self.layer_at_depth(depth).resistivity
+
+    def boundaries(self) -> np.ndarray:
+        """Depths of the slab boundaries, starting at 0 (the surface)."""
+        edges = [0.0]
+        for layer in self.layers:
+            edges.append(edges[-1] + layer.thickness)
+        return np.asarray(edges)
+
+
+@dataclass(frozen=True)
+class MosParameters:
+    """Simplified MOSFET model card (level-1 + body effect + overlap caps).
+
+    The values are per-type (NMOS / PMOS) and independent of geometry; the
+    device model scales them by W/L.
+    """
+
+    name: str
+    polarity: str                     #: "nmos" or "pmos"
+    vth0: float                       #: zero-bias threshold voltage [V]
+    kp: float                         #: transconductance parameter u0*Cox [A/V^2]
+    lambda_: float                    #: channel-length modulation [1/V]
+    gamma: float                      #: body-effect coefficient [sqrt(V)]
+    phi: float                        #: surface potential 2*phi_F [V]
+    tox: float                        #: gate-oxide thickness [m]
+    cj: float                         #: junction area capacitance [F/m^2]
+    cjsw: float                       #: junction sidewall capacitance [F/m]
+    cgdo: float                       #: gate-drain overlap capacitance [F/m]
+    cgso: float                       #: gate-source overlap capacitance [F/m]
+    pb: float = 0.8                   #: junction built-in potential [V]
+    mj: float = 0.5                   #: junction grading coefficient
+    l_min: float = 0.18e-6            #: minimum channel length [m]
+    esat: float = 6.7e6               #: velocity-saturation critical field [V/m]
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise TechnologyError(f"{self.name}: polarity must be 'nmos' or 'pmos'")
+        if self.kp <= 0:
+            raise TechnologyError(f"{self.name}: kp must be positive")
+        if self.tox <= 0:
+            raise TechnologyError(f"{self.name}: tox must be positive")
+        if self.phi <= 0:
+            raise TechnologyError(f"{self.name}: phi must be positive")
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area [F/m^2]."""
+        return EPSILON_0 * EPSILON_R_SIO2 / self.tox
+
+
+@dataclass(frozen=True)
+class WellParameters:
+    """Well-to-substrate junction description used for capacitive coupling."""
+
+    name: str
+    junction_cap_area: float          #: F/m^2 at zero bias
+    junction_cap_perimeter: float     #: F/m at zero bias
+    depth: float                      #: well depth [m]
+    sheet_resistance: float           #: ohm/square of the well
+
+    def __post_init__(self) -> None:
+        if self.junction_cap_area <= 0:
+            raise TechnologyError(f"well {self.name}: area cap must be positive")
+        if self.depth <= 0:
+            raise TechnologyError(f"well {self.name}: depth must be positive")
+
+    def capacitance(self, area: float, perimeter: float) -> float:
+        """Total well-to-substrate junction capacitance for a well shape."""
+        if area < 0 or perimeter < 0:
+            raise TechnologyError("area and perimeter must be non-negative")
+        return self.junction_cap_area * area + self.junction_cap_perimeter * perimeter
+
+
+@dataclass
+class ProcessTechnology:
+    """Complete synthetic process description consumed by the extraction flow."""
+
+    name: str
+    layer_stack: LayerStack
+    substrate: SubstrateProfile
+    mos: dict[str, MosParameters] = field(default_factory=dict)
+    wells: dict[str, WellParameters] = field(default_factory=dict)
+    substrate_contact_resistance: float = 5.0   #: ohm per tap contact
+    feature_size: float = 0.18e-6
+    supply_voltage: float = 1.8
+    metal_dielectric_eps_r: float = EPSILON_R_SIO2
+
+    def mos_parameters(self, name: str) -> MosParameters:
+        try:
+            return self.mos[name]
+        except KeyError:
+            raise TechnologyError(f"unknown MOS model {name!r}") from None
+
+    def well_parameters(self, name: str) -> WellParameters:
+        try:
+            return self.wells[name]
+        except KeyError:
+            raise TechnologyError(f"unknown well {name!r}") from None
+
+    def metal_layer(self, name: str) -> Layer:
+        layer = self.layer_stack[name]
+        if not layer.is_metal:
+            raise TechnologyError(f"layer {name!r} is not a metal layer")
+        return layer
+
+    def area_capacitance_to_substrate(self, layer_name: str) -> float:
+        """Parallel-plate capacitance density (F/m^2) of a metal layer to bulk."""
+        layer = self.metal_layer(layer_name)
+        if layer.height_above_substrate is None:
+            raise TechnologyError(f"layer {layer_name!r} has no height defined")
+        return EPSILON_0 * self.metal_dielectric_eps_r / layer.height_above_substrate
+
+    def fringe_capacitance_to_substrate(self, layer_name: str) -> float:
+        """Fringe capacitance density (F/m of perimeter) of a metal layer to bulk.
+
+        A standard empirical approximation: the fringe contribution of a wire
+        edge is roughly the permittivity times a logarithmic factor of the
+        thickness-to-height ratio.  This keeps the capacitive coupling paths in
+        the model at realistic (tens of aF/um) levels without a field solver.
+        """
+        layer = self.metal_layer(layer_name)
+        if layer.height_above_substrate is None or layer.thickness is None:
+            raise TechnologyError(f"layer {layer_name!r} missing height or thickness")
+        eps = EPSILON_0 * self.metal_dielectric_eps_r
+        ratio = layer.thickness / layer.height_above_substrate
+        return eps * np.log1p(ratio) + 0.5 * eps
+
+    def coupling_capacitance_between(self, lower: str, upper: str) -> float:
+        """Parallel-plate capacitance density between two stacked metal layers."""
+        low = self.metal_layer(lower)
+        up = self.metal_layer(upper)
+        if low.height_above_substrate is None or up.height_above_substrate is None:
+            raise TechnologyError("both layers need a defined height")
+        if low.thickness is None:
+            raise TechnologyError(f"layer {lower!r} needs a thickness")
+        gap = up.height_above_substrate - (low.height_above_substrate + low.thickness)
+        if gap <= 0:
+            raise TechnologyError(
+                f"layers {lower!r} and {upper!r} are not vertically separated")
+        return EPSILON_0 * self.metal_dielectric_eps_r / gap

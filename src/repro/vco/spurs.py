@@ -1,0 +1,184 @@
+"""Spur prediction: the paper's equations (1)-(3).
+
+When a substrate-noise tone ``v_noise = A_noise * cos(2*pi*f_noise*t)``
+couples into the VCO through ``n`` entries, the output is (paper eq. (1))
+
+``v_out(t) = A_c * (1 + sum_i G_AM,i * h_sub,i * v_noise(t))
+            * cos(2*pi*f_c*t + 2*pi * sum_i K_i * integral(h_sub,i * v_noise))``
+
+For small noise (narrow-band FM) spurs appear at ``f_c +/- f_noise`` with
+amplitudes (paper eqs. (2) and (3))
+
+``|V_FM(f_c +/- f_noise)| = (A_c / 2) * |sum_i h_sub,i(f_noise) * K_i| * A_noise / f_noise``
+``|V_AM(f_c +/- f_noise)| = (A_c / 2) * |sum_i h_sub,i(f_noise) * G_AM,i| * A_noise``
+
+This module evaluates those expressions per entry and combined, converts spur
+voltages to power in dBm, and synthesises the time-domain output waveform of
+eq. (1) so a spectrum-analyzer view (the paper's Figure 7) can be produced by
+FFT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..units import vpeak_to_dbm
+
+
+@dataclass(frozen=True)
+class NoiseEntry:
+    """One substrate-noise entry into the VCO.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports ("ground interconnect", "NMOS back-gate",
+        "inductor", ...).
+    h_sub:
+        Complex transfer from the substrate-noise source to this entry at the
+        analysed noise frequency (V/V).
+    k_hz_per_volt:
+        Oscillator frequency sensitivity to a voltage on this entry (Hz/V).
+    g_am_per_volt:
+        AM gain of this entry (1/V).
+    mechanism:
+        "resistive" or "capacitive" — how the noise reaches the entry; used by
+        the mechanism-classification analysis, not by the spur equations.
+    """
+
+    name: str
+    h_sub: complex
+    k_hz_per_volt: float
+    g_am_per_volt: float = 0.0
+    mechanism: str = "resistive"
+
+
+@dataclass
+class SpurResult:
+    """Spur amplitudes of one analysis point (one noise frequency / V_tune)."""
+
+    noise_frequency: float
+    carrier_frequency: float
+    carrier_amplitude: float
+    noise_amplitude: float
+    entries: list[NoiseEntry]
+    fm_voltage: float                 #: |V_FM| at f_c +/- f_noise (volts peak)
+    am_voltage: float                 #: |V_AM| at f_c +/- f_noise (volts peak)
+    lower_sideband_voltage: float
+    upper_sideband_voltage: float
+    per_entry_fm_voltage: dict[str, float] = field(default_factory=dict)
+    per_entry_am_voltage: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_spur_voltage(self) -> float:
+        """RSS of the two sidebands' voltages (the paper's 'total spur power')."""
+        return math.sqrt(self.lower_sideband_voltage ** 2
+                         + self.upper_sideband_voltage ** 2)
+
+    def total_spur_power_dbm(self, impedance: float = 50.0) -> float:
+        """Total spur power (both sidebands) in dBm into ``impedance``."""
+        power = (self.lower_sideband_voltage ** 2
+                 + self.upper_sideband_voltage ** 2) / (2.0 * impedance)
+        if power <= 0:
+            return -300.0
+        return 10.0 * math.log10(power / 1e-3)
+
+    def sideband_power_dbm(self, side: str = "upper",
+                           impedance: float = 50.0) -> float:
+        voltage = (self.upper_sideband_voltage if side == "upper"
+                   else self.lower_sideband_voltage)
+        return float(vpeak_to_dbm(max(voltage, 1e-15), impedance))
+
+    def entry_power_dbm(self, name: str, impedance: float = 50.0) -> float:
+        """Total spur power (both sidebands) of a single entry in dBm."""
+        v_fm = self.per_entry_fm_voltage[name]
+        v_am = self.per_entry_am_voltage[name]
+        power = (v_fm ** 2 + v_am ** 2) / impedance   # both sidebands
+        if power <= 0:
+            return -300.0
+        return 10.0 * math.log10(power / 1e-3)
+
+
+def compute_spurs(entries: list[NoiseEntry], carrier_frequency: float,
+                  carrier_amplitude: float, noise_amplitude: float,
+                  noise_frequency: float) -> SpurResult:
+    """Evaluate the paper's spur equations for one analysis point."""
+    if noise_frequency <= 0:
+        raise AnalysisError("noise frequency must be positive")
+    if carrier_amplitude <= 0 or noise_amplitude <= 0:
+        raise AnalysisError("carrier and noise amplitudes must be positive")
+    if not entries:
+        raise AnalysisError("at least one noise entry is required")
+
+    half_carrier = carrier_amplitude / 2.0
+    fm_sum = complex(0.0, 0.0)
+    am_sum = complex(0.0, 0.0)
+    per_entry_fm: dict[str, float] = {}
+    per_entry_am: dict[str, float] = {}
+    for entry in entries:
+        fm_term = entry.h_sub * entry.k_hz_per_volt / noise_frequency
+        am_term = entry.h_sub * entry.g_am_per_volt
+        fm_sum += fm_term
+        am_sum += am_term
+        per_entry_fm[entry.name] = half_carrier * noise_amplitude * abs(fm_term)
+        per_entry_am[entry.name] = half_carrier * noise_amplitude * abs(am_term)
+
+    fm_voltage = half_carrier * noise_amplitude * abs(fm_sum)
+    am_voltage = half_carrier * noise_amplitude * abs(am_sum)
+    # Narrow-band FM produces anti-phase sidebands while AM produces in-phase
+    # sidebands, so the two mechanisms add on one side of the carrier and
+    # subtract on the other — the paper's "small difference between left and
+    # right spur ... caused by negligible AM".
+    upper = half_carrier * noise_amplitude * abs(fm_sum + am_sum)
+    lower = half_carrier * noise_amplitude * abs(fm_sum - am_sum)
+    return SpurResult(
+        noise_frequency=noise_frequency,
+        carrier_frequency=carrier_frequency,
+        carrier_amplitude=carrier_amplitude,
+        noise_amplitude=noise_amplitude,
+        entries=list(entries),
+        fm_voltage=fm_voltage,
+        am_voltage=am_voltage,
+        lower_sideband_voltage=lower,
+        upper_sideband_voltage=upper,
+        per_entry_fm_voltage=per_entry_fm,
+        per_entry_am_voltage=per_entry_am)
+
+
+def synthesize_output_waveform(result: SpurResult, duration: float,
+                               sample_rate: float) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesise the VCO output voltage of eq. (1) for the analysed tone.
+
+    Returns ``(time, v_out)``.  The FM term integrates the frequency deviation
+    analytically (sinusoidal noise), the AM term multiplies the envelope.
+    """
+    if duration <= 0 or sample_rate <= 0:
+        raise AnalysisError("duration and sample rate must be positive")
+    n_samples = int(round(duration * sample_rate))
+    time = np.arange(n_samples) / sample_rate
+
+    omega_noise = 2.0 * math.pi * result.noise_frequency
+    fm_sum = complex(0.0, 0.0)
+    am_sum = complex(0.0, 0.0)
+    for entry in result.entries:
+        fm_sum += entry.h_sub * entry.k_hz_per_volt
+        am_sum += entry.h_sub * entry.g_am_per_volt
+
+    # Effective noise reaching the frequency / amplitude control, as real
+    # signals with the phase of the summed transfer.
+    fm_mag, fm_phase = abs(fm_sum), np.angle(fm_sum)
+    am_mag, am_phase = abs(am_sum), np.angle(am_sum)
+
+    # Frequency deviation: delta_f(t) = fm_mag * A_noise * cos(w t + phase).
+    # Its integral contributes (fm_mag*A_noise/f_noise) * sin(w t + phase)/(2*pi) cycles.
+    phase_deviation = (result.noise_amplitude * fm_mag / result.noise_frequency
+                       * np.sin(omega_noise * time + fm_phase))
+    envelope = 1.0 + result.noise_amplitude * am_mag * np.cos(
+        omega_noise * time + am_phase)
+    v_out = result.carrier_amplitude * envelope * np.cos(
+        2.0 * math.pi * result.carrier_frequency * time + phase_deviation)
+    return time, v_out

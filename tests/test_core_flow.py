@@ -1,0 +1,47 @@
+"""The extraction flow (paper Figure 2) on both test chips."""
+
+import pytest
+
+from repro.core.flow import FlowOptions, run_extraction_flow
+from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING
+
+
+def test_flow_produces_all_artifacts(nmos_flow):
+    assert nmos_flow.substrate.ports
+    assert nmos_flow.interconnect.wires
+    assert len(nmos_flow.devices.circuit) > 0
+    assert len(nmos_flow.impact.circuit) > len(nmos_flow.devices.circuit)
+    assert nmos_flow.timings.total_extraction > 0.0
+
+
+def test_flow_summary_keys(nmos_flow):
+    summary = nmos_flow.summary()
+    for key in ("cell", "substrate_ports", "substrate_mesh_nodes",
+                "extracted_wires", "devices", "impact_netlist_elements",
+                "extraction_seconds"):
+        assert key in summary
+    assert summary["cell"] == "nmos_measurement_structure"
+    assert summary["substrate_ports"] >= 6
+
+
+def test_flow_timings_accumulate(nmos_flow):
+    timings = nmos_flow.timings
+    assert timings.total_extraction == pytest.approx(
+        timings.substrate_extraction + timings.interconnect_extraction
+        + timings.circuit_extraction + timings.merge)
+
+
+def test_vco_flow_ground_wire_present(vco_flow):
+    resistance = vco_flow.interconnect.resistance_between(NET_GROUND_RING,
+                                                          NET_GROUND_PAD)
+    # 800 um of 4 um wide metal-1 at 78 mohm/sq: ~15.6 ohm.
+    assert resistance == pytest.approx(15.6, rel=0.05)
+
+
+def test_vco_flow_impact_netlist_contains_all_models(vco_flow):
+    names = set(vco_flow.impact.circuit.elements)
+    assert any(n.startswith("sub:") for n in names)       # substrate macromodel
+    assert any(n.startswith("ic:") for n in names)        # interconnect
+    assert "MN_left" in names and "MP_right" in names     # devices
+    assert any(n.startswith("Cind_") for n in names)      # inductor coupling
+    assert any(n.startswith("Cwell_") for n in names)     # well coupling

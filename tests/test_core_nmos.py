@@ -1,0 +1,64 @@
+"""Section 3 / Figure 3 integration test (coarse mesh, trend-level checks).
+
+The benchmarks regenerate Figure 3 at the calibrated mesh resolution; these
+tests check that the experiment machinery produces self-consistent results on
+a coarse mesh quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import measurements
+
+
+def test_transfer_curve_is_monotonically_decreasing(nmos_result):
+    """The substrate-to-output transfer falls with bias, as in Figure 3."""
+    assert np.all(np.diff(nmos_result.transfer_db) < 0)
+
+
+def test_transfer_in_the_paper_band(nmos_result):
+    """On the coarse test mesh the transfer stays within +/-12 dB of the
+    paper's -45..-52 dB band (the calibrated benchmark configuration lands
+    within a few dB)."""
+    assert np.all(nmos_result.transfer_db < -30.0)
+    assert np.all(nmos_result.transfer_db > -70.0)
+    assert nmos_result.comparison.max_abs_error_db < 12.0
+
+
+def test_reference_curve_comes_from_paper(nmos_result):
+    assert nmos_result.reference_db[0] == pytest.approx(-45.0)
+    assert nmos_result.reference_db[-1] == pytest.approx(-52.0)
+
+
+def test_small_signal_ranges_track_paper(nmos_result):
+    """gmb and gds rise with bias and stay in the measured order of magnitude."""
+    assert np.all(np.diff(nmos_result.gmb) > 0)
+    assert np.all(np.diff(nmos_result.gds) > 0)
+    assert 5e-3 < nmos_result.gmb[0] < 25e-3
+    assert 20e-3 < nmos_result.gmb[-1] < 60e-3
+    assert 1e-3 < nmos_result.gds[0] < 6e-3
+    assert 10e-3 < nmos_result.gds[-1] < 45e-3
+
+
+def test_crossover_frequencies_far_above_noise_band(nmos_result):
+    """Junction-cap coupling only matters above a few GHz (paper: 5-19 GHz),
+    far above the analysed 15 MHz substrate-noise band."""
+    assert np.all(nmos_result.crossover_frequencies > 1e9)
+
+
+def test_substrate_division_order_of_magnitude(nmos_result):
+    """The back-gate voltage division is in the 1e-4..1e-2 range (paper 1/652)
+    and collapses when the ground wire is made ideal."""
+    assert 1e-4 < nmos_result.substrate_division < 2e-2
+    assert nmos_result.substrate_division_ideal_ground < nmos_result.substrate_division
+    assert nmos_result.division_increase_factor > 1.5
+
+
+def test_ground_wire_resistance_extracted(nmos_result):
+    assert 5.0 < nmos_result.ground_wire_resistance < 30.0
+
+
+def test_rows_table(nmos_result):
+    rows = nmos_result.rows()
+    assert len(rows) == len(nmos_result.bias)
+    assert set(rows[0]) == {"bias_v", "reference_db", "simulated_db"}

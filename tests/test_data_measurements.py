@@ -1,0 +1,61 @@
+"""Reference data reconstructed from the paper."""
+
+import numpy as np
+import pytest
+
+from repro.data import measurements
+
+
+def test_nmos_transfer_reference_endpoints():
+    bias, transfer = measurements.nmos_transfer_reference()
+    assert bias[0] == pytest.approx(0.5)
+    assert bias[-1] == pytest.approx(1.6)
+    assert transfer[0] == pytest.approx(-45.0)
+    assert transfer[-1] == pytest.approx(-52.0)
+    # Monotonically decreasing, as in Figure 3.
+    assert np.all(np.diff(transfer) < 0)
+
+
+def test_nmos_transfer_reference_custom_bias():
+    bias, transfer = measurements.nmos_transfer_reference(np.array([0.5, 1.05, 1.6]))
+    assert transfer[1] == pytest.approx(-48.5)
+
+
+def test_headline_constants():
+    assert measurements.NMOS_SUBSTRATE_DIVISION == pytest.approx(1 / 652)
+    assert measurements.VCO_OSCILLATION_FREQUENCY_HZ == pytest.approx(3e9)
+    assert measurements.INJECTED_POWER_DBM == -5.0
+    assert measurements.NOISE_FREQUENCY_RANGE_HZ[1] == pytest.approx(15e6)
+    assert measurements.FIG9_NMOS_BELOW_GROUND_DB == pytest.approx(20.0)
+    assert measurements.FIG10_PREDICTED_REDUCTION_DB == pytest.approx(4.5)
+    assert measurements.NMOS_GMB_RANGE_S == (10e-3, 38e-3)
+    assert measurements.NMOS_GDS_RANGE_S == (2.8e-3, 22e-3)
+
+
+def test_fig8_reference_slope():
+    frequencies, level = measurements.fig8_spur_reference()
+    slope = np.polyfit(np.log10(frequencies), level, 1)[0]
+    assert slope == pytest.approx(-20.0)
+    assert frequencies[0] == pytest.approx(1e5)
+    # The offset knob shifts the whole line.
+    _, shifted = measurements.fig8_spur_reference(frequencies, vtune_offset_db=3.0)
+    assert np.allclose(shifted - level, 3.0)
+
+
+def test_fig9_reference_structure():
+    curves = measurements.fig9_contribution_reference()
+    assert set(curves) == {"ground interconnect", "NMOS back-gate", "inductor"}
+    frequencies, ground = curves["ground interconnect"]
+    _, nmos = curves["NMOS back-gate"]
+    _, inductor = curves["inductor"]
+    assert np.allclose(ground - nmos, 20.0)
+    assert np.allclose(np.diff(inductor), 0.0)
+    # The ground path dominates everywhere in the analysed range.
+    assert np.all(ground > inductor)
+
+
+def test_paper_summary_defaults():
+    summary = measurements.PaperSummary()
+    assert summary.vco_frequency_hz == pytest.approx(3e9)
+    assert summary.max_error_nmos_db == pytest.approx(1.0)
+    assert summary.max_error_vco_db == pytest.approx(2.0)

@@ -1,0 +1,110 @@
+"""Circuit extraction and model merging."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extraction import extract_circuit, merge_models
+from repro.layout.cell import Cell, DeviceAnnotation
+from repro.layout.geometry import Rect
+from repro.layout.testchips import NET_GROUND_RING, NET_SUB, backgate_node
+from repro.netlist.devices import MosfetElement, VaractorElement
+from repro.package import PackageModel
+from repro.substrate.extraction import PortKind
+
+
+def test_extract_circuit_nmos_structure(nmos_cell, technology):
+    extracted = extract_circuit(nmos_cell, technology)
+    assert len(extracted.mosfets) == 4
+    assert not extracted.varactors
+    assert not extracted.inductors
+    for element in extracted.mosfets.values():
+        assert isinstance(element, MosfetElement)
+        assert element.model.geometry.width == pytest.approx(50e-6)
+
+
+def test_extract_circuit_vco(vco_cell, technology):
+    extracted = extract_circuit(vco_cell, technology)
+    assert set(extracted.mosfets) == {"MN_left", "MN_right", "MN_tail",
+                                      "MP_left", "MP_right"}
+    assert set(extracted.varactors) == {"C_var_left", "C_var_right"}
+    assert set(extracted.inductors) == {"L_tank"}
+    # The inductor becomes a series L + R pair in the netlist.
+    assert "L_L_tank" in extracted.circuit
+    assert "R_L_tank" in extracted.circuit
+    assert sorted(extracted.device_names())[0] == "C_var_left"
+
+
+def test_extract_circuit_requires_devices(technology):
+    cell = Cell("empty-ish")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    with pytest.raises(ExtractionError):
+        extract_circuit(cell, technology)
+
+
+def test_extract_circuit_rejects_unknown_device(technology):
+    cell = Cell("bad")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_device(DeviceAnnotation(
+        name="X1", device_type="memristor", terminals={},
+        parameters={}, footprint=Rect(0, 0, 1e-6, 1e-6)))
+    with pytest.raises(ExtractionError):
+        extract_circuit(cell, technology)
+
+
+def test_merge_models_nmos(nmos_flow):
+    impact = nmos_flow.impact
+    assert impact.injection_node == NET_SUB
+    circuit = impact.circuit
+    # The merged netlist contains substrate resistors, interconnect resistors
+    # and the extracted devices.
+    names = set(circuit.elements)
+    assert any(name.startswith("sub:Rsub_") for name in names)
+    assert any(name.startswith("ic:Rw_") for name in names)
+    assert "MN0" in names
+    # Resistive ports map straight onto their nets.
+    backgate_port = next(p for p in nmos_flow.substrate.ports
+                         if p.kind is PortKind.BACKGATE)
+    assert impact.port_nodes[backgate_port.name] == backgate_port.nets[0]
+
+
+def test_merge_models_vco_capacitive_ports(vco_flow):
+    impact = vco_flow.impact
+    circuit = impact.circuit
+    inductor_port = next(p for p in vco_flow.substrate.ports
+                         if p.kind is PortKind.INDUCTOR)
+    coupling = impact.coupling_element_names(inductor_port.name)
+    assert len(coupling) == 2          # Cind/2 to each tank node
+    for name in coupling:
+        assert name in circuit
+    well_ports = vco_flow.substrate.ports_of_kind(PortKind.WELL)
+    assert well_ports
+    for port in well_ports:
+        assert impact.port_nodes[port.name].startswith("sub:")
+
+
+def test_merge_with_package(nmos_flow, technology):
+    from repro.extraction import merge_models
+
+    package = PackageModel.rf_probed({NET_SUB: "SUB_EXT"})
+    impact = merge_models(nmos_flow.devices, nmos_flow.interconnect,
+                          nmos_flow.substrate, package=package)
+    assert any(name.startswith("probe:") for name in impact.circuit.elements)
+
+
+def test_impact_netlist_is_simulatable(nmos_flow):
+    """The merged netlist plus a ground tie and a source solves in DC."""
+    import copy
+
+    from repro.simulator import dc_operating_point
+
+    circuit = copy.deepcopy(nmos_flow.impact.circuit)
+    circuit.add_voltage_source("VSUB", NET_SUB, "0", 0.1)
+    circuit.add_resistor("Rtie", NET_GROUND_RING, "0", 1.0)
+    circuit.add_voltage_source("VG", "VGATE", "0", 0.0)
+    circuit.add_resistor("Rout", "OUT", "0", 1e3)
+    circuit.add_resistor("Rpad", "VGND_PAD", "0", 0.05)
+    solution = dc_operating_point(circuit)
+    # With the devices off, no current flows and the back-gate floats between
+    # the injection contact and the grounded rings.
+    v_bg = solution.voltage(backgate_node("MN0"))
+    assert 0.0 <= v_bg <= 0.1

@@ -1,0 +1,102 @@
+"""Cell container: shapes, pins, device annotations."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell, DeviceAnnotation
+from repro.layout.geometry import Rect
+
+
+def make_device(name="M1", net="OUT"):
+    return DeviceAnnotation(
+        name=name, device_type="nmos",
+        terminals={"d": net, "g": "G", "s": "S", "b": "B"},
+        parameters={"w": 10e-6, "l": 0.18e-6},
+        footprint=Rect(0, 0, 10e-6, 10e-6),
+        model="nmos_rf")
+
+
+def test_add_shapes_and_layers():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_path("M2", [(0, 0), (5e-6, 0)], width=1e-6)
+    assert cell.layers() == ["M1", "M2"]
+    assert len(cell.shapes_on("M1")) == 1
+    assert cell.shapes_on("M3") == []
+
+
+def test_add_shape_rejects_unknown_type():
+    cell = Cell("test")
+    with pytest.raises(LayoutError):
+        cell.add_shape("M1", "not a shape")
+
+
+def test_rects_on_converts_paths():
+    cell = Cell("test")
+    cell.add_path("M1", [(0, 0), (5e-6, 0), (5e-6, 5e-6)], width=1e-6)
+    rects = cell.rects_on("M1")
+    assert len(rects) == 2
+
+
+def test_pins_and_nets():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_pin("VGND", "M1", 0.5e-6, 0.5e-6)
+    cell.add_pin("OUT", "M1", 0.0, 0.0, is_port=True)
+    assert [p.name for p in cell.pins_of_net("VGND")] == ["VGND"]
+    assert [p.name for p in cell.ports()] == ["OUT"]
+    assert cell.nets() == ["OUT", "VGND"]
+
+
+def test_devices_and_duplicates():
+    cell = Cell("test")
+    cell.add_rect("ACTIVE", 0, 0, 10e-6, 10e-6)
+    cell.add_device(make_device())
+    with pytest.raises(LayoutError):
+        cell.add_device(make_device())
+    assert len(cell.devices_of_type("nmos")) == 1
+    assert cell.devices_of_type("pmos") == []
+    assert "OUT" in cell.nets()
+
+
+def test_bbox_and_total_area():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_rect("M1", 2e-6, 0, 3e-6, 1e-6)
+    box = cell.bbox()
+    assert box.width == pytest.approx(3e-6)
+    assert cell.total_area("M1") == pytest.approx(2e-12)
+    assert cell.total_area("M9") == 0.0
+
+
+def test_bbox_of_empty_cell_raises():
+    with pytest.raises(LayoutError):
+        Cell("empty").bbox()
+
+
+def test_validate_checks_pin_layers():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_pin("X", "M7", 0, 0)
+    with pytest.raises(LayoutError):
+        cell.validate()
+
+
+def test_validate_checks_device_inside_bbox():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    device = DeviceAnnotation(
+        name="far", device_type="nmos",
+        terminals={"d": "D", "g": "G", "s": "S", "b": "B"},
+        parameters={}, footprint=Rect(1.0, 1.0, 1.1, 1.1))
+    cell.add_device(device)
+    with pytest.raises(LayoutError):
+        cell.validate()
+
+
+def test_iter_shapes_yields_layer_pairs():
+    cell = Cell("test")
+    cell.add_rect("M1", 0, 0, 1e-6, 1e-6)
+    cell.add_rect("M2", 0, 0, 1e-6, 1e-6)
+    layers = sorted(layer for layer, _shape in cell.iter_shapes())
+    assert layers == ["M1", "M2"]

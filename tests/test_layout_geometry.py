@@ -1,0 +1,142 @@
+"""Geometry primitives: rectangles, paths, bounding boxes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Path, Point, Rect, bounding_box
+
+finite = st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False)
+positive = st.floats(min_value=1e-7, max_value=1e-3, allow_nan=False)
+
+
+def test_point_distance_and_translate():
+    a = Point(0.0, 0.0)
+    b = Point(3e-6, 4e-6)
+    assert a.distance_to(b) == pytest.approx(5e-6)
+    assert b.translated(1e-6, -4e-6).as_tuple() == pytest.approx((4e-6, 0.0))
+
+
+def test_rect_normalises_corners():
+    rect = Rect(2.0, 3.0, 1.0, 1.0)
+    assert (rect.x0, rect.y0, rect.x1, rect.y1) == (1.0, 1.0, 2.0, 3.0)
+    assert rect.width == pytest.approx(1.0)
+    assert rect.height == pytest.approx(2.0)
+
+
+def test_rect_rejects_zero_area():
+    with pytest.raises(LayoutError):
+        Rect(0.0, 0.0, 0.0, 1.0)
+
+
+def test_rect_from_center():
+    rect = Rect.from_center(0.0, 0.0, 2.0, 4.0)
+    assert rect.x0 == -1.0 and rect.y1 == 2.0
+    with pytest.raises(LayoutError):
+        Rect.from_center(0.0, 0.0, -1.0, 1.0)
+
+
+def test_rect_area_perimeter_center():
+    rect = Rect(0.0, 0.0, 2.0, 3.0)
+    assert rect.area == pytest.approx(6.0)
+    assert rect.perimeter == pytest.approx(10.0)
+    assert rect.center.as_tuple() == pytest.approx((1.0, 1.5))
+
+
+def test_rect_intersection_and_overlap():
+    a = Rect(0.0, 0.0, 2.0, 2.0)
+    b = Rect(1.0, 1.0, 3.0, 3.0)
+    c = Rect(5.0, 5.0, 6.0, 6.0)
+    assert a.intersects(b)
+    assert not a.intersects(c)
+    overlap = a.intersection(b)
+    assert overlap is not None and overlap.area == pytest.approx(1.0)
+    assert a.intersection(c) is None
+    assert a.overlap_area(b) == pytest.approx(1.0)
+    assert a.overlap_area(c) == 0.0
+
+
+def test_rect_union_and_expand():
+    a = Rect(0.0, 0.0, 1.0, 1.0)
+    b = Rect(2.0, 2.0, 3.0, 3.0)
+    union = a.union_bbox(b)
+    assert union.x0 == 0.0 and union.x1 == 3.0
+    grown = a.expanded(0.5)
+    assert grown.width == pytest.approx(2.0)
+
+
+def test_rect_contains_point():
+    rect = Rect(0.0, 0.0, 1.0, 1.0)
+    assert rect.contains_point(Point(0.5, 0.5))
+    assert not rect.contains_point(Point(1.5, 0.5))
+    assert rect.contains_point(Point(1.1, 0.5), tol=0.2)
+
+
+def test_bounding_box_of_collection():
+    box = bounding_box([Rect(0, 0, 1, 1), Rect(4, -1, 5, 0.5)])
+    assert (box.x0, box.y0, box.x1, box.y1) == (0, -1, 5, 1)
+    with pytest.raises(LayoutError):
+        bounding_box([])
+
+
+@given(x0=finite, y0=finite, w=positive, h=positive)
+def test_rect_area_is_width_times_height(x0, y0, w, h):
+    rect = Rect(x0, y0, x0 + w, y0 + h)
+    assert rect.area == pytest.approx(rect.width * rect.height)
+    assert rect.area > 0
+
+
+@given(x0=finite, y0=finite, w=positive, h=positive,
+       dx=finite, dy=finite)
+def test_rect_translation_preserves_area(x0, y0, w, h, dx, dy):
+    rect = Rect(x0, y0, x0 + w, y0 + h)
+    moved = rect.translated(dx, dy)
+    assert moved.area == pytest.approx(rect.area, rel=1e-6)
+
+
+def test_path_requires_manhattan_segments():
+    with pytest.raises(LayoutError):
+        Path.from_xy([(0.0, 0.0), (1e-6, 1e-6)], width=1e-6)
+    with pytest.raises(LayoutError):
+        Path.from_xy([(0.0, 0.0), (0.0, 0.0)], width=1e-6)
+    with pytest.raises(LayoutError):
+        Path.from_xy([(0.0, 0.0)], width=1e-6)
+    with pytest.raises(LayoutError):
+        Path.from_xy([(0.0, 0.0), (1e-6, 0.0)], width=-1.0)
+
+
+def test_path_length_and_squares():
+    path = Path.from_xy([(0.0, 0.0), (10e-6, 0.0), (10e-6, 5e-6)], width=1e-6)
+    assert path.length == pytest.approx(15e-6)
+    # 15 squares minus half a square for the corner.
+    assert path.squares() == pytest.approx(14.5)
+
+
+def test_path_segment_rects_cover_width():
+    path = Path.from_xy([(0.0, 0.0), (10e-6, 0.0)], width=2e-6)
+    rects = path.segment_rects()
+    assert len(rects) == 1
+    assert rects[0].height == pytest.approx(2e-6)
+    assert rects[0].width == pytest.approx(12e-6)   # extended by half width at ends
+
+
+def test_path_area_does_not_double_count_corners():
+    straight = Path.from_xy([(0.0, 0.0), (20e-6, 0.0)], width=2e-6)
+    bent = Path.from_xy([(0.0, 0.0), (10e-6, 0.0), (10e-6, 10e-6)], width=2e-6)
+    assert bent.area() < straight.area() + 30e-12
+    assert bent.area() > 0
+
+
+def test_path_translate_and_bbox():
+    path = Path.from_xy([(0.0, 0.0), (5e-6, 0.0)], width=1e-6)
+    moved = path.translated(0.0, 2e-6)
+    assert moved.bbox().center.y == pytest.approx(2e-6)
+
+
+@given(length=st.floats(min_value=1e-6, max_value=1e-3),
+       width=st.floats(min_value=1e-7, max_value=1e-5))
+def test_straight_path_squares_is_length_over_width(length, width):
+    path = Path.from_xy([(0.0, 0.0), (length, 0.0)], width=width)
+    assert path.squares() == pytest.approx(length / width, rel=1e-9)

@@ -1,0 +1,142 @@
+"""Parameterised layout generators (p-cells)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.geometry import Rect
+from repro.layout.primitives import (
+    MosfetLayoutSpec,
+    draw_bond_pad,
+    draw_mosfet,
+    draw_spiral_inductor,
+    draw_substrate_contact_ring,
+    draw_substrate_injection_contact,
+    draw_substrate_tap_strip,
+    draw_varactor,
+    draw_wire,
+)
+
+
+def test_draw_wire_pins_both_ends():
+    cell = Cell("t")
+    draw_wire(cell, "M1", [(0, 0), (100e-6, 0)], 2e-6, net="VGND",
+              nodes=("A", "B"))
+    names = [p.name for p in cell.pins]
+    assert names == ["A", "B"]
+    assert len(cell.shapes_on("M1")) == 1
+
+
+def test_draw_wire_default_single_node():
+    cell = Cell("t")
+    draw_wire(cell, "M1", [(0, 0), (10e-6, 0)], 2e-6, net="OUT")
+    assert {p.name for p in cell.pins} == {"OUT"}
+
+
+def test_draw_bond_pad_creates_port():
+    cell = Cell("t")
+    draw_bond_pad(cell, "VDD", (0.0, 0.0), size=80e-6)
+    ports = cell.ports()
+    assert len(ports) == 1 and ports[0].name == "VDD"
+    assert cell.total_area("M6") == pytest.approx(80e-6 * 80e-6)
+    assert cell.shapes_on("PAD")
+
+
+def test_guard_ring_strips_and_annotation():
+    cell = Cell("t")
+    inner = Rect(0, 0, 50e-6, 30e-6)
+    strips = draw_substrate_contact_ring(cell, "VGND", inner, ring_width=2e-6,
+                                         name="ring")
+    assert len(strips) == 4
+    device = cell.devices[0]
+    assert device.device_type == "substrate_contact"
+    assert device.terminals["tap"] == "VGND"
+    assert device.parameters["ring_width"] == pytest.approx(2e-6)
+    # The ring footprint encloses the protected region.
+    assert device.footprint.contains_point(inner.center)
+
+
+def test_guard_ring_rejects_bad_width():
+    cell = Cell("t")
+    with pytest.raises(LayoutError):
+        draw_substrate_contact_ring(cell, "VGND", Rect(0, 0, 1e-6, 1e-6),
+                                    ring_width=0.0)
+
+
+def test_injection_contact_and_tap_strip():
+    cell = Cell("t")
+    draw_substrate_injection_contact(cell, "SUB", (0.0, 0.0), size=20e-6)
+    draw_substrate_tap_strip(cell, "VGND", Rect(50e-6, 0, 100e-6, 5e-6))
+    kinds = [d.device_type for d in cell.devices]
+    assert kinds == ["substrate_contact", "substrate_contact"]
+    assert {d.terminals["tap"] for d in cell.devices} == {"SUB", "VGND"}
+
+
+def test_mosfet_spec_validation():
+    with pytest.raises(LayoutError):
+        MosfetLayoutSpec("M", "nmos_rf", "nmos", width_per_finger=-1.0,
+                         length=0.18e-6)
+    with pytest.raises(LayoutError):
+        MosfetLayoutSpec("M", "nmos_rf", "nmos", width_per_finger=1e-6,
+                         length=0.18e-6, fingers=0)
+    spec = MosfetLayoutSpec("M", "nmos_rf", "nmos", width_per_finger=5e-6,
+                            length=0.18e-6, fingers=10, multiplier=4)
+    assert spec.total_width == pytest.approx(200e-6)
+
+
+def test_draw_mosfet_annotation_and_pins():
+    cell = Cell("t")
+    spec = MosfetLayoutSpec("MN0", "nmos_rf", "nmos", width_per_finger=5e-6,
+                            length=0.18e-6, fingers=4)
+    annotation = draw_mosfet(cell, spec, (0.0, 0.0),
+                             terminals={"d": "OUT", "g": "G", "s": "S", "b": "B"})
+    assert annotation.model == "nmos_rf"
+    assert annotation.parameters["w"] == pytest.approx(20e-6)
+    assert cell.shapes_on("POLY")
+    assert {p.name for p in cell.pins} == {"OUT", "G", "S", "B"}
+
+
+def test_draw_mosfet_requires_all_terminals():
+    cell = Cell("t")
+    spec = MosfetLayoutSpec("MN0", "nmos_rf", "nmos", width_per_finger=5e-6,
+                            length=0.18e-6)
+    with pytest.raises(LayoutError):
+        draw_mosfet(cell, spec, (0.0, 0.0), terminals={"d": "OUT", "g": "G"})
+
+
+def test_draw_pmos_adds_nwell():
+    cell = Cell("t")
+    spec = MosfetLayoutSpec("MP0", "pmos_rf", "pmos", width_per_finger=5e-6,
+                            length=0.18e-6)
+    draw_mosfet(cell, spec, (0.0, 0.0),
+                terminals={"d": "D", "g": "G", "s": "S", "b": "B"},
+                in_nwell=True)
+    assert cell.shapes_on("NWELL")
+    assert cell.shapes_on("PPLUS")
+
+
+def test_draw_varactor():
+    cell = Cell("t")
+    annotation = draw_varactor(cell, "CV", (0.0, 0.0),
+                               terminals={"plus": "TANK", "minus": "VTUNE",
+                                          "well": "VTUNE"},
+                               cmin=0.6e-12, cmax=1.8e-12)
+    assert annotation.parameters["cmax"] == pytest.approx(1.8e-12)
+    assert cell.shapes_on("NWELL")
+    with pytest.raises(LayoutError):
+        draw_varactor(cell, "CV2", (0.0, 0.0), terminals={"plus": "A"})
+
+
+def test_draw_spiral_inductor_manhattan_and_annotation():
+    cell = Cell("t")
+    annotation = draw_spiral_inductor(
+        cell, "L1", (0.0, 0.0), terminals={"plus": "TP", "minus": "TN"},
+        inductance=2e-9, series_resistance=4.0, outer_diameter=200e-6)
+    assert annotation.parameters["inductance"] == pytest.approx(2e-9)
+    assert annotation.parameters["substrate_capacitance"] == pytest.approx(120e-15)
+    # The spiral is drawn on the thick top metal.
+    assert cell.shapes_on("M6")
+    assert {p.name for p in cell.pins} == {"TP", "TN"}
+    with pytest.raises(LayoutError):
+        draw_spiral_inductor(cell, "L2", (0.0, 0.0), terminals={"plus": "X"},
+                             inductance=1e-9, series_resistance=1.0)

@@ -1,0 +1,112 @@
+"""The paper's two test-chip layouts."""
+
+import pytest
+
+from repro.layout.testchips import (
+    NET_BIAS,
+    NET_GROUND_PAD,
+    NET_GROUND_RING,
+    NET_OUT,
+    NET_SUB,
+    NET_SUPPLY,
+    NET_TANK_N,
+    NET_TANK_P,
+    NET_TUNE,
+    NmosStructureSpec,
+    VcoLayoutSpec,
+    backgate_node,
+    make_nmos_measurement_structure,
+    make_vco_testchip,
+)
+
+
+@pytest.fixture(scope="module")
+def nmos_structure():
+    return make_nmos_measurement_structure()
+
+
+@pytest.fixture(scope="module")
+def vco():
+    return make_vco_testchip()
+
+
+def test_nmos_structure_has_four_parallel_devices(nmos_structure):
+    nmos = nmos_structure.devices_of_type("nmos")
+    assert len(nmos) == 4
+    # Combined width 4 x 10 fingers x 5 um = 200 um, like the paper's RF NMOS.
+    assert sum(d.parameters["w"] for d in nmos) == pytest.approx(200e-6)
+    # Each device has its own back-gate node.
+    backgates = {d.terminals["b"] for d in nmos}
+    assert len(backgates) == 4
+    assert backgate_node("MN0") in backgates
+
+
+def test_nmos_structure_has_rings_injection_and_pads(nmos_structure):
+    contacts = nmos_structure.devices_of_type("substrate_contact")
+    names = {d.name for d in contacts}
+    assert "mos_ground_ring" in names
+    assert "outer_guard_ring" in names
+    assert any(name.startswith("sub_contact") for name in names)
+    nets = nmos_structure.nets()
+    for net in (NET_SUB, NET_GROUND_RING, NET_GROUND_PAD, NET_OUT):
+        assert net in nets
+
+
+def test_nmos_structure_ground_wire_nodes(nmos_structure):
+    """The ground wire must run between the ring node and the pad node."""
+    ring_pins = nmos_structure.pins_of_net(NET_GROUND_RING)
+    pad_pins = nmos_structure.pins_of_net(NET_GROUND_PAD)
+    assert ring_pins and pad_pins
+
+
+def test_nmos_structure_ground_width_scaling():
+    wide = make_nmos_measurement_structure(
+        NmosStructureSpec(ground_width_scale=2.0))
+    nominal = make_nmos_measurement_structure()
+    # Twice the drawn metal-1 area on the ground wire (approximately; the
+    # rings are identical in both).
+    assert wide.total_area("M1") > nominal.total_area("M1")
+
+
+def test_vco_has_expected_devices(vco):
+    assert len(vco.devices_of_type("nmos")) == 3       # pair + tail
+    assert len(vco.devices_of_type("pmos")) == 2
+    assert len(vco.devices_of_type("varactor")) == 2
+    assert len(vco.devices_of_type("inductor")) == 1
+    contacts = vco.devices_of_type("substrate_contact")
+    assert len(contacts) >= 4      # core ring, 2 tap rows, outer ring, SUB
+
+
+def test_vco_nets_follow_figure5(vco):
+    nets = vco.nets()
+    for net in (NET_SUB, NET_GROUND_RING, NET_GROUND_PAD, NET_SUPPLY,
+                NET_TUNE, NET_TANK_P, NET_TANK_N, NET_OUT, NET_BIAS):
+        assert net in nets
+    # Cross-coupling: each NMOS gate is the other's drain net.
+    nmos = {d.name: d for d in vco.devices_of_type("nmos")}
+    assert nmos["MN_left"].terminals["g"] == nmos["MN_right"].terminals["d"]
+    assert nmos["MN_right"].terminals["g"] == nmos["MN_left"].terminals["d"]
+
+
+def test_vco_varactor_between_tank_and_tune(vco):
+    varactors = {d.name: d for d in vco.devices_of_type("varactor")}
+    assert varactors["C_var_left"].terminals["plus"] == NET_TANK_P
+    assert varactors["C_var_left"].terminals["minus"] == NET_TUNE
+    assert varactors["C_var_right"].terminals["plus"] == NET_TANK_N
+
+
+def test_vco_inductor_values(vco):
+    inductor = vco.devices_of_type("inductor")[0]
+    assert inductor.parameters["inductance"] == pytest.approx(2e-9)
+    # The paper quotes 120 fF of coil-to-substrate capacitance per inductor.
+    assert inductor.parameters["substrate_capacitance"] == pytest.approx(120e-15)
+
+
+def test_vco_ground_width_scale_changes_wire(vco):
+    wide = make_vco_testchip(VcoLayoutSpec(ground_width_scale=2.0))
+    assert wide.total_area("M1") > vco.total_area("M1")
+
+
+def test_layouts_validate(nmos_structure, vco):
+    nmos_structure.validate()
+    vco.validate()

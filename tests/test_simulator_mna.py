@@ -1,0 +1,150 @@
+"""MNA assembly: index maps, stamps, matrix properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist import Circuit, SourceValue
+from repro.simulator.mna import (
+    MatrixStamper,
+    MnaStructure,
+    SolutionView,
+    solve_sparse,
+    stamp_linear_elements,
+)
+
+
+def test_structure_indexing():
+    circuit = Circuit("t")
+    circuit.add_voltage_source("V1", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1.0)
+    circuit.add_inductor("L1", "out", "0", 1e-9)
+    structure = MnaStructure.from_circuit(circuit)
+    assert structure.n_nodes == 2
+    assert structure.n_branches == 2
+    assert structure.size == 4
+    assert structure.node_row("0") is None
+    assert structure.node_row("in") == 0
+    with pytest.raises(SimulationError):
+        structure.node_row("nope")
+    with pytest.raises(SimulationError):
+        structure.branch_row("nope")
+
+
+def test_resistor_stamp_symmetry():
+    circuit = Circuit("t")
+    circuit.add_resistor("R1", "a", "b", 2.0)
+    circuit.add_resistor("R2", "b", "0", 2.0)
+    stamper = stamp_linear_elements(circuit)
+    g = stamper.conductance_matrix().toarray()
+    assert np.allclose(g, g.T)
+    assert g[0, 0] == pytest.approx(0.5)
+    assert g[1, 1] == pytest.approx(1.0)
+    assert g[0, 1] == pytest.approx(-0.5)
+
+
+def test_capacitor_stamps_into_c_matrix():
+    circuit = Circuit("t")
+    circuit.add_capacitor("C1", "a", "0", 1e-12)
+    circuit.add_resistor("R1", "a", "0", 1.0)
+    stamper = stamp_linear_elements(circuit)
+    c = stamper.capacitance_matrix().toarray()
+    assert c[0, 0] == pytest.approx(1e-12)
+
+
+def test_vccs_stamp_pattern():
+    circuit = Circuit("t")
+    circuit.add_resistor("Rin", "cp", "0", 1.0)
+    circuit.add_resistor("Rout", "p", "0", 1.0)
+    circuit.add_vccs("G1", "p", "0", "cp", "0", gm=5e-3)
+    stamper = stamp_linear_elements(circuit)
+    g = stamper.conductance_matrix().toarray()
+    structure = stamper.structure
+    row_p = structure.node_row("p")
+    col_cp = structure.node_row("cp")
+    assert g[row_p, col_cp] == pytest.approx(5e-3)
+
+
+def test_voltage_source_branch_and_rhs():
+    circuit = Circuit("t")
+    circuit.add_voltage_source("V1", "in", "0", 3.3)
+    circuit.add_resistor("R1", "in", "0", 1.0)
+    stamper = stamp_linear_elements(circuit)
+    structure = stamper.structure
+    k = structure.branch_row("V1")
+    g = stamper.conductance_matrix().toarray()
+    assert g[structure.node_row("in"), k] == pytest.approx(1.0)
+    assert g[k, structure.node_row("in")] == pytest.approx(1.0)
+    assert stamper.rhs[k] == pytest.approx(3.3)
+
+
+def test_inductor_branch_stamp():
+    circuit = Circuit("t")
+    circuit.add_inductor("L1", "a", "0", 2e-9)
+    circuit.add_resistor("R1", "a", "0", 1.0)
+    stamper = stamp_linear_elements(circuit)
+    structure = stamper.structure
+    k = structure.branch_row("L1")
+    c = stamper.capacitance_matrix().toarray()
+    assert c[k, k] == pytest.approx(-2e-9)
+
+
+def test_current_source_rhs_sign():
+    circuit = Circuit("t")
+    circuit.add_resistor("R1", "a", "0", 1.0)
+    circuit.add_current_source("I1", "0", "a", 1e-3)   # pushes current into a
+    stamper = stamp_linear_elements(circuit)
+    row = stamper.structure.node_row("a")
+    assert stamper.rhs[row] == pytest.approx(1e-3)
+
+
+def test_stamper_copy_is_independent():
+    circuit = Circuit("t")
+    circuit.add_resistor("R1", "a", "0", 1.0)
+    stamper = stamp_linear_elements(circuit)
+    clone = stamper.copy()
+    clone.conductance("a", "0", 1.0)
+    assert stamper.conductance_matrix()[0, 0] == pytest.approx(1.0)
+    assert clone.conductance_matrix()[0, 0] == pytest.approx(2.0)
+
+
+def test_solve_sparse_rejects_singular():
+    import scipy.sparse as sp
+
+    matrix = sp.csr_matrix(np.zeros((2, 2)))
+    with pytest.raises(SimulationError):
+        solve_sparse(matrix, np.ones(2))
+
+
+def test_solution_view_lookup():
+    circuit = Circuit("t")
+    circuit.add_voltage_source("V1", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "0", 1.0)
+    structure = MnaStructure.from_circuit(circuit)
+    view = SolutionView(structure, np.array([1.0, -1.0]))
+    assert view.voltage("in") == pytest.approx(1.0)
+    assert view.voltage("0") == 0.0
+    assert view.branch_current("V1") == pytest.approx(-1.0)
+    assert view.voltage_between("in", "0") == pytest.approx(1.0)
+    assert view.voltages() == {"in": 1.0}
+
+
+@given(values=st.lists(st.floats(min_value=1.0, max_value=1e6),
+                       min_size=2, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_resistive_ladder_matrix_properties(values):
+    """The conductance matrix of any resistive ladder is symmetric and
+    diagonally dominant with non-positive off-diagonal entries."""
+    circuit = Circuit("ladder")
+    previous = "0"
+    for index, resistance in enumerate(values):
+        node = f"n{index}"
+        circuit.add_resistor(f"R{index}", previous, node, resistance)
+        previous = node
+    stamper = stamp_linear_elements(circuit)
+    g = stamper.conductance_matrix().toarray()
+    assert np.allclose(g, g.T)
+    off_diagonal = g - np.diag(np.diag(g))
+    assert np.all(off_diagonal <= 1e-15)
+    assert np.all(np.diag(g) >= np.sum(np.abs(off_diagonal), axis=1) - 1e-12)

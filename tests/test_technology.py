@@ -1,0 +1,167 @@
+"""Technology description: layers, vias, substrate profile, device cards."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology import (
+    Layer,
+    LayerPurpose,
+    LayerStack,
+    MosParameters,
+    ProcessTechnology,
+    SubstrateLayer,
+    SubstrateProfile,
+    ViaDefinition,
+    WellParameters,
+    make_technology,
+)
+
+
+# -- layers ---------------------------------------------------------------------
+
+
+def test_layer_requires_positive_sheet_resistance():
+    with pytest.raises(TechnologyError):
+        Layer("M1", LayerPurpose.METAL, sheet_resistance=-1.0)
+
+
+def test_layer_conductor_flags():
+    metal = Layer("M1", LayerPurpose.METAL, sheet_resistance=0.078,
+                  thickness=0.3e-6, height_above_substrate=0.6e-6)
+    assert metal.is_conductor and metal.is_metal
+    marker = Layer("NWELL", LayerPurpose.NWELL)
+    assert not marker.is_conductor
+
+
+def test_via_definition_cut_math():
+    via = ViaDefinition("VIA1", "M1", "M2", resistance_per_cut=4.0,
+                        cut_size=0.26e-6, cut_pitch=0.56e-6)
+    assert via.cuts_in_area(5.6e-6, 0.56e-6) == 10
+    assert via.resistance_for_area(5.6e-6, 0.56e-6) == pytest.approx(0.4)
+    assert via.cuts_in_area(-1.0, 1.0) == 0
+
+
+def test_via_rejects_bad_geometry():
+    with pytest.raises(TechnologyError):
+        ViaDefinition("V", "M1", "M2", resistance_per_cut=4.0,
+                      cut_size=0.5e-6, cut_pitch=0.2e-6)
+
+
+def test_layer_stack_duplicate_rejected():
+    stack = LayerStack()
+    stack.add_layer(Layer("M1", LayerPurpose.METAL, sheet_resistance=0.1,
+                          thickness=0.3e-6, height_above_substrate=0.6e-6))
+    with pytest.raises(TechnologyError):
+        stack.add_layer(Layer("M1", LayerPurpose.METAL, sheet_resistance=0.1,
+                              thickness=0.3e-6, height_above_substrate=0.6e-6))
+
+
+def test_layer_stack_via_needs_known_layers():
+    stack = LayerStack()
+    stack.add_layer(Layer("M1", LayerPurpose.METAL, sheet_resistance=0.1,
+                          thickness=0.3e-6, height_above_substrate=0.6e-6))
+    with pytest.raises(TechnologyError):
+        stack.add_via(ViaDefinition("VIA1", "M1", "M2", 4.0, 0.26e-6, 0.56e-6))
+
+
+# -- substrate profile -------------------------------------------------------------
+
+
+def test_substrate_layer_properties():
+    layer = SubstrateLayer("bulk", thickness=300e-6, resistivity=0.2)
+    assert layer.conductivity == pytest.approx(5.0)
+    assert layer.sheet_resistance == pytest.approx(0.2 / 300e-6)
+
+
+def test_substrate_profile_layer_lookup():
+    profile = SubstrateProfile(layers=(
+        SubstrateLayer("surface", 2e-6, 0.05),
+        SubstrateLayer("bulk", 298e-6, 0.2),
+    ))
+    assert profile.total_thickness == pytest.approx(300e-6)
+    assert profile.layer_at_depth(1e-6).name == "surface"
+    assert profile.layer_at_depth(50e-6).name == "bulk"
+    assert profile.layer_at_depth(1.0).name == "bulk"      # beyond the stack
+    assert profile.resistivity_at_depth(10e-6) == pytest.approx(0.2)
+    with pytest.raises(TechnologyError):
+        profile.layer_at_depth(-1e-6)
+
+
+def test_substrate_profile_boundaries():
+    profile = SubstrateProfile(layers=(SubstrateLayer("a", 1e-6, 1.0),
+                                       SubstrateLayer("b", 2e-6, 1.0)))
+    boundaries = profile.boundaries()
+    assert boundaries[0] == 0.0
+    assert boundaries[-1] == pytest.approx(3e-6)
+
+
+# -- MOS / well parameters -----------------------------------------------------------
+
+
+def test_mos_parameters_validation():
+    with pytest.raises(TechnologyError):
+        MosParameters(name="bad", polarity="npn", vth0=0.4, kp=1e-4,
+                      lambda_=0.1, gamma=0.5, phi=0.8, tox=4e-9,
+                      cj=1e-3, cjsw=1e-10, cgdo=1e-10, cgso=1e-10)
+
+
+def test_mos_cox_from_tox(technology):
+    nmos = technology.mos_parameters("nmos_rf")
+    # cox = eps0 * 3.9 / tox ~ 8.4 mF/m^2 for a 4.1 nm oxide.
+    assert nmos.cox == pytest.approx(8.42e-3, rel=0.02)
+
+
+def test_well_capacitance_scales_with_area(technology):
+    well = technology.well_parameters("nwell")
+    small = well.capacitance(100e-12, 40e-6)
+    large = well.capacitance(200e-12, 40e-6)
+    assert large > small
+    with pytest.raises(TechnologyError):
+        well.capacitance(-1.0, 0.0)
+
+
+# -- the synthetic 0.18 um technology --------------------------------------------------
+
+
+def test_make_technology_has_six_metals(technology):
+    metals = technology.layer_stack.metal_layers()
+    assert [m.name for m in metals] == ["M1", "M2", "M3", "M4", "M5", "M6"]
+    heights = [m.height_above_substrate for m in metals]
+    assert heights == sorted(heights)
+
+
+def test_technology_is_high_ohmic(technology):
+    """The paper's process is a 20 ohm-cm (0.2 ohm-m) high-ohmic substrate."""
+    bulk = technology.substrate.layers[-1]
+    assert bulk.resistivity == pytest.approx(0.2)
+
+
+def test_technology_unknown_names_raise(technology):
+    with pytest.raises(TechnologyError):
+        technology.mos_parameters("does_not_exist")
+    with pytest.raises(TechnologyError):
+        technology.well_parameters("does_not_exist")
+    with pytest.raises(TechnologyError):
+        technology.metal_layer("NWELL")
+
+
+def test_capacitance_densities_reasonable(technology):
+    """Metal-1 to substrate plate capacitance should be tens of aF/um^2."""
+    density = technology.area_capacitance_to_substrate("M1")
+    assert 2e-5 < density < 2e-4          # F/m^2  (20-200 aF/um^2)
+    fringe = technology.fringe_capacitance_to_substrate("M1")
+    assert fringe > 0
+    m1_m2 = technology.coupling_capacitance_between("M1", "M2")
+    assert m1_m2 > density                # closer spacing -> larger density
+
+
+def test_coupling_capacitance_requires_separation(technology):
+    with pytest.raises(TechnologyError):
+        technology.coupling_capacitance_between("M2", "M1")
+
+
+def test_via_between_lookup(technology):
+    via = technology.layer_stack.via_between("M1", "M2")
+    assert via.layer == "VIA1"
+    with pytest.raises(TechnologyError):
+        technology.layer_stack.via_between("M1", "M6")
