@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Write a perf snapshot of the reproduction flow to ``BENCH_<n>.json``.
+
+Runs the Figure-10 runtime flow (extraction + one V_tune impact sweep) plus
+the solver micro-benchmarks and records wall-clock seconds, so every PR
+leaves a trajectory point future changes can be regressed against:
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output BENCH_1.json]
+
+The snapshot includes the solver counters (factorizations / solves) of the
+simulation stage as a cheap structural regression check alongside the raw
+timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from repro.core.flow import run_extraction_flow  # noqa: E402
+from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis  # noqa: E402
+from repro.layout.testchips import make_vco_testchip  # noqa: E402
+from repro.simulator.solver import stats  # noqa: E402
+from repro.technology import make_technology  # noqa: E402
+
+from _report import NOISE_FREQUENCIES  # noqa: E402
+from test_solver_micro import GRID_SIZE, _grid_circuit  # noqa: E402
+
+
+def _bench_flow() -> dict:
+    technology = make_technology()
+    options = VcoExperimentOptions(vtune_values=(0.0, 0.75, 1.5),
+                                   noise_frequencies=NOISE_FREQUENCIES)
+    cell = make_vco_testchip()
+
+    start = time.perf_counter()
+    flow = run_extraction_flow(cell, technology, options=options.flow)
+    extraction_seconds = time.perf_counter() - start
+
+    stats.reset()
+    start = time.perf_counter()
+    analysis = VcoImpactAnalysis(technology, options=options, flow_result=flow)
+    analysis.spur_sweep(vtune_values=(0.0,),
+                        noise_frequencies=np.asarray(NOISE_FREQUENCIES))
+    simulation_seconds = time.perf_counter() - start
+
+    return {
+        "extraction_seconds": extraction_seconds,
+        "extraction_breakdown": {
+            "substrate": flow.timings.substrate_extraction,
+            "interconnect": flow.timings.interconnect_extraction,
+            "circuit": flow.timings.circuit_extraction,
+            "merge": flow.timings.merge,
+        },
+        "simulation_seconds": simulation_seconds,
+        "simulation_solver_counters": {
+            "factorizations": stats.factorizations,
+            "solves": stats.solves,
+        },
+        "mesh_nodes": flow.substrate.mesh_nodes,
+        "impact_netlist_nodes": len(flow.impact.circuit.nodes()),
+    }
+
+
+def _bench_solver_micro() -> dict:
+    from repro.simulator import ac_analysis, dc_operating_point, transient_analysis
+    from repro.simulator.mna import MnaStructure, stamp_linear_elements
+
+    circuit = _grid_circuit()
+    structure = MnaStructure.from_circuit(circuit)
+
+    start = time.perf_counter()
+    stamp_linear_elements(circuit, structure).conductance_matrix()
+    stamping_seconds = time.perf_counter() - start
+
+    operating_point = dc_operating_point(circuit)
+    start = time.perf_counter()
+    transient_analysis(circuit, t_stop=4e-7, timestep=1e-9,
+                       operating_point=operating_point)
+    transient_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ac_analysis(circuit, np.logspace(4, 9, 64))
+    ac_seconds = time.perf_counter() - start
+
+    return {
+        "grid_size": GRID_SIZE,
+        "unknowns": structure.size,
+        "stamping_seconds": stamping_seconds,
+        "transient_400_steps_seconds": transient_seconds,
+        "ac_sweep_64_points_seconds": ac_seconds,
+    }
+
+
+def _next_snapshot_path() -> Path:
+    """First unused ``BENCH_<n>.json`` so PRs never clobber the trajectory."""
+    index = 1
+    while (REPO_ROOT / f"BENCH_{index}.json").exists():
+        index += 1
+    return REPO_ROOT / f"BENCH_{index}.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the snapshot JSON "
+                             "(default: the next unused BENCH_<n>.json)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = _next_snapshot_path()
+
+    snapshot = {
+        "benchmark": "figure10_runtime_flow",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "flow": _bench_flow(),
+        "solver_micro": _bench_solver_micro(),
+    }
+    snapshot["flow"]["total_seconds"] = (snapshot["flow"]["extraction_seconds"]
+                                         + snapshot["flow"]["simulation_seconds"])
+
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Solver-core micro-benchmarks: stamping, transient stepping, AC sweeping.
+
+These isolate the three hot paths the sparse-solver overhaul targets so their
+cost can be tracked independently of the full extraction flow:
+
+* MNA stamping of a large resistor mesh (COO triplet accumulation),
+* the linear transient step loop (one cached LU factorization + per-step
+  triangular solves),
+* a dense AC frequency sweep (shared G/C sparsity pattern, per-point
+  ``.data`` assembly).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_solver_micro.py -s``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.netlist import Circuit, SourceValue
+from repro.simulator import (
+    ac_analysis,
+    dc_operating_point,
+    transient_analysis,
+)
+from repro.simulator.mna import MnaStructure, stamp_linear_elements
+from repro.simulator.solver import stats
+
+from _report import print_table
+
+#: Lateral size of the resistor-grid benchmark circuit (nodes = SIZE**2).
+GRID_SIZE = 24
+
+
+def _grid_circuit(size: int = GRID_SIZE) -> Circuit:
+    """A size x size resistor grid with a source in one corner — a stand-in
+    for the merged impact netlist's substrate resistor network."""
+    circuit = Circuit("grid")
+    circuit.add_voltage_source(
+        "V1", "n_0_0", "0",
+        SourceValue(dc=1.0, ac_magnitude=1.0, waveform=lambda t: 1.0))
+    for i in range(size):
+        for j in range(size):
+            node = f"n_{i}_{j}"
+            if i + 1 < size:
+                circuit.add_resistor(f"Rx_{i}_{j}", node, f"n_{i + 1}_{j}", 100.0)
+            if j + 1 < size:
+                circuit.add_resistor(f"Ry_{i}_{j}", node, f"n_{i}_{j + 1}", 100.0)
+            circuit.add_capacitor(f"C_{i}_{j}", node, "0", 1e-13)
+    circuit.add_resistor("Rgnd", f"n_{size - 1}_{size - 1}", "0", 100.0)
+    return circuit
+
+
+def test_stamping_micro_benchmark(benchmark):
+    circuit = _grid_circuit()
+    structure = MnaStructure.from_circuit(circuit)
+
+    def stamp():
+        stamper = stamp_linear_elements(circuit, structure)
+        return stamper.conductance_matrix()
+
+    matrix = benchmark(stamp)
+    assert matrix.nnz > 0
+
+
+def test_transient_micro_benchmark(benchmark):
+    circuit = _grid_circuit()
+    operating_point = dc_operating_point(circuit)
+    n_steps = 400
+
+    def run():
+        stats.reset()
+        return transient_analysis(circuit, t_stop=n_steps * 1e-9,
+                                  timestep=1e-9,
+                                  operating_point=operating_point)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.factorizations == 1          # cached LU across all steps
+    assert len(result.times) == n_steps + 1
+
+
+def test_ac_sweep_micro_benchmark(benchmark):
+    circuit = _grid_circuit()
+    frequencies = np.logspace(4, 9, 64)
+
+    def run():
+        return ac_analysis(circuit, frequencies)
+
+    ac = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ac.vectors.shape == (frequencies.size, ac.vectors.shape[1])
+
+
+def test_solver_micro_report():
+    """One-shot wall-clock table of the three micro-benchmarks."""
+    circuit = _grid_circuit()
+    structure = MnaStructure.from_circuit(circuit)
+
+    start = time.perf_counter()
+    stamp_linear_elements(circuit, structure).conductance_matrix()
+    stamp_seconds = time.perf_counter() - start
+
+    operating_point = dc_operating_point(circuit)
+    start = time.perf_counter()
+    transient_analysis(circuit, t_stop=4e-7, timestep=1e-9,
+                       operating_point=operating_point)
+    transient_seconds = time.perf_counter() - start
+
+    frequencies = np.logspace(4, 9, 64)
+    start = time.perf_counter()
+    ac_analysis(circuit, frequencies)
+    ac_seconds = time.perf_counter() - start
+
+    print_table(
+        f"Solver micro-benchmarks ({GRID_SIZE}x{GRID_SIZE} grid, "
+        f"{structure.size} unknowns)",
+        [
+            {"stage": "stamping + CSR build", "seconds": stamp_seconds},
+            {"stage": "transient (400 steps)", "seconds": transient_seconds},
+            {"stage": "AC sweep (64 points)", "seconds": ac_seconds},
+        ])
+    assert stamp_seconds < 5.0
+    assert transient_seconds < 30.0
+    assert ac_seconds < 30.0

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import AnalysisError
-from ..netlist.elements import SourceValue
+from ..netlist.elements import SourceValue, vectorized_waveform
 from ..units import dbm_to_vpeak
 
 
@@ -82,8 +82,12 @@ class DigitalSwitchingNoise:
 
     def source_value(self) -> SourceValue:
         """Netlist source with the switching waveform for transient analysis."""
-        def waveform(t: float) -> float:
-            return float(self.samples(np.asarray([t]))[0])
+        @vectorized_waveform
+        def waveform(t):
+            # samples() is array-aware, so whole time grids are evaluated in
+            # one vectorized call; scalars come back as plain floats.
+            result = self.samples(t)
+            return result if result.ndim else float(result)
 
         # The fundamental of the pulse train dominates the narrow-band impact;
         # expose it as the AC magnitude so AC-based analyses stay meaningful.

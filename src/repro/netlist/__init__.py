@@ -12,6 +12,7 @@ from .elements import (
     VoltageControlledCurrentSource,
     VoltageControlledVoltageSource,
     VoltageSource,
+    vectorized_waveform,
 )
 from .devices import MosfetElement, NonlinearElement, VaractorElement
 from .circuit import Circuit
@@ -35,4 +36,5 @@ __all__ = [
     "VoltageControlledCurrentSource",
     "VoltageControlledVoltageSource",
     "VoltageSource",
+    "vectorized_waveform",
 ]

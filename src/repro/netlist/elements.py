@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..errors import NetlistError
 from .stamping import GROUND, Stamper
 
@@ -143,6 +145,19 @@ class VoltageControlledVoltageSource(Element):
 Waveform = Callable[[float], float]
 
 
+def vectorized_waveform(waveform: Waveform) -> Waveform:
+    """Mark ``waveform`` as safe to evaluate on a whole time grid at once.
+
+    :meth:`SourceValue.sample` only calls a waveform with an array when it
+    carries this marker; unmarked callables are always evaluated one time
+    point at a time, preserving per-step semantics for stateful waveforms
+    (noise generators, playback iterators) that a probing array call would
+    corrupt.
+    """
+    waveform.supports_time_grid = True      # type: ignore[attr-defined]
+    return waveform
+
+
 @dataclass
 class SourceValue:
     """Analysis-dependent value of an independent source.
@@ -168,14 +183,43 @@ class SourceValue:
             return self.waveform(time)
         return self.dc
 
+    def sample(self, times) -> np.ndarray:
+        """Waveform samples over a whole time grid, shape ``times.shape``.
+
+        Waveforms marked with :func:`vectorized_waveform` are evaluated in a
+        single array call; every other callable is evaluated one time point
+        at a time — never probed with an array — so stateful waveforms keep
+        exact per-step semantics.  Either way the result is one dense array
+        per source, which the transient analysis scatters into the RHS rows
+        the source touches.
+        """
+        times = np.asarray(times, dtype=float)
+        if self.waveform is None:
+            return np.full(times.shape, self.dc)
+        if getattr(self.waveform, "supports_time_grid", False):
+            # The waveform gets a copy: one that mutates its argument in
+            # place must not corrupt the caller's (shared) time grid.
+            samples = np.asarray(self.waveform(times.copy()), dtype=float)
+            if samples.shape != times.shape:
+                raise NetlistError(
+                    "vectorized waveform returned shape "
+                    f"{samples.shape} for a {times.shape} time grid")
+            return samples
+        samples = np.array([float(self.waveform(float(t)))
+                            for t in np.atleast_1d(times)])
+        return samples.reshape(times.shape)
+
     @classmethod
     def sine(cls, amplitude: float, frequency: float, dc_offset: float = 0.0,
              phase_deg: float = 0.0) -> "SourceValue":
         """A sinusoidal source usable in DC (offset), AC (phasor) and transient."""
         phase = math.radians(phase_deg)
 
-        def waveform(t: float) -> float:
-            return dc_offset + amplitude * math.sin(2.0 * math.pi * frequency * t + phase)
+        @vectorized_waveform
+        def waveform(t):
+            # np.sin keeps this waveform valid for scalars and whole time
+            # grids alike, so transient sampling stays vectorized.
+            return dc_offset + amplitude * np.sin(2.0 * math.pi * frequency * t + phase)
 
         return cls(dc=dc_offset, ac_magnitude=amplitude, ac_phase_deg=phase_deg,
                    waveform=waveform)

@@ -1,6 +1,14 @@
 """Sparse-MNA circuit simulator: DC, AC, transfer-function and transient analyses."""
 
 from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .solver import (
+    Factorization,
+    SharedPatternPair,
+    SolverStats,
+    add_gmin_diagonal,
+    factorize,
+    stats as solver_stats,
+)
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .ac import AcSolution, ac_analysis
 from .transfer import TransferFunction, transfer_function
@@ -10,15 +18,21 @@ __all__ = [
     "AcSolution",
     "DcOptions",
     "DcSolution",
+    "Factorization",
     "MatrixStamper",
     "MnaStructure",
+    "SharedPatternPair",
     "SolutionView",
+    "SolverStats",
     "TransferFunction",
     "TransientOptions",
     "TransientSolution",
     "ac_analysis",
+    "add_gmin_diagonal",
     "dc_operating_point",
+    "factorize",
     "solve_sparse",
+    "solver_stats",
     "stamp_linear_elements",
     "transfer_function",
     "transient_analysis",

@@ -21,6 +21,7 @@ from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .solver import SharedPatternPair, add_gmin_diagonal
 
 
 @dataclass
@@ -110,16 +111,15 @@ def ac_analysis(circuit: Circuit, frequencies: np.ndarray | list[float],
 
     g_matrix, c_matrix = _small_signal_matrices(circuit, structure, operating_point)
     # gmin to ground on every node row keeps otherwise-floating nodes solvable.
-    g_matrix = g_matrix.tolil()
-    for row in range(structure.n_nodes):
-        g_matrix[row, row] += gmin
-    g_matrix = g_matrix.tocsr()
+    g_matrix = add_gmin_diagonal(g_matrix, structure.n_nodes, gmin)
 
+    # G and C share one CSC sparsity pattern; each frequency point only
+    # rewrites the .data array of the preallocated (G + j*omega*C) matrix.
+    pattern = SharedPatternPair(g_matrix, c_matrix)
     rhs = _ac_rhs(circuit, structure)
     vectors = np.zeros((frequencies.size, structure.size), dtype=complex)
     for index, frequency in enumerate(frequencies):
-        omega = 2.0 * np.pi * frequency
-        matrix = (g_matrix + 1j * omega * c_matrix).tocsr()
-        vectors[index] = solve_sparse(matrix, rhs)
+        matrix = pattern.assemble(2j * np.pi * frequency)
+        vectors[index] = solve_sparse(matrix, rhs, structure=structure)
     return AcSolution(circuit=circuit, structure=structure,
                       frequencies=frequencies, vectors=vectors)

@@ -23,6 +23,7 @@ from ..netlist.circuit import Circuit
 from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
 from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .solver import add_gmin_diagonal
 
 
 @dataclass
@@ -99,10 +100,9 @@ def _newton_solve(circuit: Circuit, structure: MnaStructure,
         for element in nonlinear:
             element.stamp_companion(stamper, voltages)
         # gmin from every node to ground keeps floating nodes solvable.
-        matrix = stamper.conductance_matrix().tolil()
-        for row in range(n_nodes):
-            matrix[row, row] += options.gmin
-        x_new = solve_sparse(matrix.tocsr(), stamper.rhs)
+        matrix = add_gmin_diagonal(stamper.conductance_matrix(), n_nodes,
+                                   options.gmin)
+        x_new = solve_sparse(matrix, stamper.rhs, structure=structure)
         delta = x_new - x
         x = x + options.damping * delta
         max_delta = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0

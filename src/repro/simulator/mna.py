@@ -28,11 +28,11 @@ from typing import Mapping
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from ..errors import SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.stamping import GROUND, Stamper
+from . import solver as _solver
 
 
 @dataclass(frozen=True)
@@ -78,14 +78,52 @@ class MnaStructure:
             raise SimulationError(f"unknown branch {branch!r}") from None
 
 
+class TripletAccumulator:
+    """COO triplet lists for one sparse matrix being stamped.
+
+    Appending a triplet is O(1); the CSR matrix is built once at the end
+    (``coo_matrix`` sums duplicate entries during conversion), which makes
+    stamping O(nnz) instead of the repeated sparse indexing a ``lil_matrix``
+    needs.
+    """
+
+    __slots__ = ("shape", "rows", "cols", "vals")
+
+    def __init__(self, size: int):
+        self.shape = (size, size)
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(value)
+
+    def tocsr(self) -> sp.csr_matrix:
+        if not self.vals:
+            return sp.csr_matrix(self.shape, dtype=float)
+        matrix = sp.coo_matrix((self.vals, (self.rows, self.cols)),
+                               shape=self.shape, dtype=float)
+        return matrix.tocsr()
+
+    def copy(self) -> "TripletAccumulator":
+        clone = TripletAccumulator(self.shape[0])
+        clone.rows = list(self.rows)
+        clone.cols = list(self.cols)
+        clone.vals = list(self.vals)
+        return clone
+
+
 class MatrixStamper(Stamper):
-    """Accumulates element stamps into sparse ``G``, ``C`` and dense ``b``."""
+    """Accumulates element stamps into COO triplets for ``G``, ``C`` and a
+    dense ``b``; the sparse matrices are assembled on demand."""
 
     def __init__(self, structure: MnaStructure):
         self.structure = structure
         size = structure.size
-        self._g = sp.lil_matrix((size, size), dtype=float)
-        self._c = sp.lil_matrix((size, size), dtype=float)
+        self._g = TripletAccumulator(size)
+        self._c = TripletAccumulator(size)
         self.rhs = np.zeros(size, dtype=float)
 
     # -- matrix access ---------------------------------------------------------
@@ -97,7 +135,7 @@ class MatrixStamper(Stamper):
         return self._c.tocsr()
 
     def copy(self) -> "MatrixStamper":
-        """Deep copy of the accumulated matrices (used by Newton iterations)."""
+        """Deep copy of the accumulated stamps (used by Newton iterations)."""
         clone = MatrixStamper(self.structure)
         clone._g = self._g.copy()
         clone._c = self._c.copy()
@@ -106,13 +144,13 @@ class MatrixStamper(Stamper):
 
     # -- low-level helpers -------------------------------------------------------
 
-    def _add(self, matrix: sp.lil_matrix, row: int | None, col: int | None,
+    def _add(self, matrix: TripletAccumulator, row: int | None, col: int | None,
              value: float) -> None:
         if row is None or col is None:
             return
-        matrix[row, col] += value
+        matrix.add(row, col, value)
 
-    def _stamp_two_node(self, matrix: sp.lil_matrix, node_a: str, node_b: str,
+    def _stamp_two_node(self, matrix: TripletAccumulator, node_a: str, node_b: str,
                         value: float) -> None:
         a = self.structure.node_row(node_a)
         b = self.structure.node_row(node_b)
@@ -196,21 +234,15 @@ def stamp_linear_elements(circuit: Circuit,
     return stamper
 
 
-def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray) -> np.ndarray:
-    """Solve a sparse linear system, raising :class:`SimulationError` on failure."""
-    if matrix.shape[0] != matrix.shape[1]:
-        raise SimulationError("MNA matrix must be square")
-    if matrix.shape[0] == 0:
-        return np.zeros(0, dtype=rhs.dtype)
-    try:
-        solution = spla.spsolve(matrix.tocsc(), rhs)
-    except RuntimeError as exc:
-        raise SimulationError(f"sparse solve failed: {exc}") from exc
-    solution = np.atleast_1d(solution)
-    if not np.all(np.isfinite(solution)):
-        raise SimulationError("MNA solution contains non-finite values "
-                              "(singular matrix or floating node)")
-    return solution
+def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
+                 structure: MnaStructure | None = None) -> np.ndarray:
+    """Solve a sparse linear system, raising :class:`SimulationError` on failure.
+
+    Thin wrapper around :func:`repro.simulator.solver.solve_sparse`, kept here
+    because this module historically owned the one-shot solve.  Passing the
+    ``structure`` lets singular-matrix errors name the offending node.
+    """
+    return _solver.solve_sparse(matrix, rhs, structure=structure)
 
 
 @dataclass

@@ -1,0 +1,245 @@
+"""Sparse linear-solver core: cached factorizations and shared patterns.
+
+The solver layer owns everything between "here is an assembled MNA system"
+and "here is the solution vector":
+
+* :class:`Factorization` — one LU factorization of a sparse matrix, reusable
+  for any number of right-hand sides (single vectors or multi-RHS blocks).
+  Linear transient analysis has a constant left-hand side and factorizes
+  exactly once for the whole time grid; the substrate Kron reduction solves
+  its internal block against all port columns in a single call.
+* :class:`SharedPatternPair` — ``G`` and ``C`` expanded onto one shared CSC
+  sparsity pattern so an AC sweep can assemble ``G + s*C`` per frequency by
+  combining ``.data`` arrays in place, never reallocating matrix structure.
+* :func:`solve_sparse` — one-shot solve with proper singular-matrix
+  diagnostics: :class:`scipy.sparse.linalg.MatrixRankWarning` is promoted to
+  :class:`~repro.errors.SimulationError` (naming the offending node when the
+  MNA structure is available) and a finite-check backstop catches anything
+  that slips through.
+* :func:`add_gmin_diagonal` — the vectorized "gmin from every node to
+  ground" regularisation shared by the DC, AC and transient analyses.
+
+A module-level :data:`stats` counter records factorizations and solves so
+tests (and benchmarks) can assert the caching behaviour — e.g. that a linear
+transient performs exactly one factorization regardless of step count.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SimulationError
+
+
+@dataclass
+class SolverStats:
+    """Counters of the expensive solver operations (for tests / benchmarks)."""
+
+    factorizations: int = 0
+    solves: int = 0
+
+    def reset(self) -> None:
+        self.factorizations = 0
+        self.solves = 0
+
+
+#: Global solver counters; ``stats.reset()`` before a run to measure it.
+stats = SolverStats()
+
+
+def _row_names(rows: np.ndarray, structure) -> list[str]:
+    """Best-effort mapping of MNA row indices to node / branch names."""
+    if structure is None:
+        return [f"row {int(row)}" for row in rows]
+    inverse: dict[int, str] = {}
+    for name, row in structure.node_index.items():
+        inverse[row] = f"node {name!r}"
+    for name, row in structure.branch_index.items():
+        inverse[row] = f"branch {name!r}"
+    return [inverse.get(int(row), f"row {int(row)}") for row in rows]
+
+
+def _singular_hint(matrix: sp.spmatrix, structure=None, limit: int = 3) -> str:
+    """Describe structurally empty rows (floating nodes) of a singular matrix."""
+    csr = sp.csr_matrix(matrix)
+    row_abs_sum = np.asarray(abs(csr).sum(axis=1)).ravel()
+    bad = np.flatnonzero(row_abs_sum == 0.0)
+    if bad.size == 0:
+        return ""
+    names = ", ".join(_row_names(bad[:limit], structure))
+    suffix = ", ..." if bad.size > limit else ""
+    return f" (all-zero matrix row for {names}{suffix} — floating node?)"
+
+
+def _check_finite(solution: np.ndarray, matrix: sp.spmatrix,
+                  structure=None) -> np.ndarray:
+    if not np.all(np.isfinite(solution)):
+        raise SimulationError(
+            "MNA solution contains non-finite values (singular matrix or "
+            "floating node)" + _singular_hint(matrix, structure))
+    return solution
+
+
+class Factorization:
+    """One LU factorization of a square sparse matrix, reusable across solves.
+
+    ``solve`` accepts a single right-hand side vector or a dense ``(n, k)``
+    multi-RHS block, real or complex (a complex RHS against a real
+    factorization is solved as two real solves).
+    """
+
+    def __init__(self, matrix: sp.spmatrix, structure=None):
+        if matrix.shape[0] != matrix.shape[1]:
+            raise SimulationError("MNA matrix must be square")
+        self.shape = matrix.shape
+        self._structure = structure
+        self._matrix = sp.csc_matrix(matrix)
+        self._complex = np.iscomplexobj(self._matrix.data)
+        if self.shape[0] == 0:
+            self._lu = None
+        else:
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error", spla.MatrixRankWarning)
+                    self._lu = spla.splu(self._matrix)
+            except (RuntimeError, spla.MatrixRankWarning) as exc:
+                raise SimulationError(
+                    f"sparse factorization failed: {exc}"
+                    + _singular_hint(self._matrix, structure)) from exc
+        stats.factorizations += 1
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` using the cached factorization."""
+        rhs = np.asarray(rhs)
+        if rhs.shape[0] != self.shape[0]:
+            raise SimulationError(
+                f"RHS length {rhs.shape[0]} does not match matrix size "
+                f"{self.shape[0]}")
+        if self._lu is None:
+            return np.zeros_like(rhs)
+        if np.iscomplexobj(rhs) and not self._complex:
+            solution = (self._lu.solve(np.ascontiguousarray(rhs.real))
+                        + 1j * self._lu.solve(np.ascontiguousarray(rhs.imag)))
+        else:
+            solution = self._lu.solve(np.ascontiguousarray(rhs))
+        stats.solves += 1
+        return _check_finite(solution, self._matrix, self._structure)
+
+
+def factorize(matrix: sp.spmatrix, structure=None) -> Factorization:
+    """Factorize ``matrix`` once for reuse over many right-hand sides."""
+    return Factorization(matrix, structure=structure)
+
+
+def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
+                 structure=None) -> np.ndarray:
+    """One-shot sparse solve raising :class:`SimulationError` on failure.
+
+    ``spsolve`` signals singular matrices via ``MatrixRankWarning`` plus a
+    NaN-filled result rather than an exception; the warning is promoted to a
+    :class:`SimulationError` naming the offending node when ``structure``
+    (an :class:`~repro.simulator.mna.MnaStructure`) is available.  The
+    finite-check stays as a backstop for near-singular systems that solve
+    without warning.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise SimulationError("MNA matrix must be square")
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=rhs.dtype)
+    csc = sp.csc_matrix(matrix)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", spla.MatrixRankWarning)
+            solution = spla.spsolve(csc, rhs)
+    except spla.MatrixRankWarning as exc:
+        raise SimulationError(
+            "sparse solve failed: matrix is singular"
+            + _singular_hint(csc, structure)) from exc
+    except RuntimeError as exc:
+        raise SimulationError(f"sparse solve failed: {exc}"
+                              + _singular_hint(csc, structure)) from exc
+    stats.solves += 1
+    solution = np.atleast_1d(solution)
+    return _check_finite(solution, csc, structure)
+
+
+def add_gmin_diagonal(matrix: sp.spmatrix, n_nodes: int,
+                      gmin: float) -> sp.csr_matrix:
+    """Add ``gmin`` from every node to ground in one vectorized operation.
+
+    Only the first ``n_nodes`` rows (the node equations) receive the shunt;
+    branch-current rows are left untouched.  Returns CSR.
+    """
+    if gmin <= 0.0 or n_nodes <= 0:
+        return sp.csr_matrix(matrix)
+    diagonal = np.zeros(matrix.shape[0])
+    diagonal[:n_nodes] = gmin
+    return (sp.csr_matrix(matrix) + sp.diags(diagonal, format="csr")).tocsr()
+
+
+class SharedPatternPair:
+    """``G`` and ``C`` expanded onto one shared CSC sparsity pattern.
+
+    :meth:`assemble` builds ``G + s*C`` for any complex frequency ``s`` by
+    writing into the ``.data`` array of a single preallocated matrix — no
+    sparse additions, conversions or structure allocations per frequency
+    point, which is what makes dense AC sweeps cheap.
+    """
+
+    def __init__(self, g_matrix: sp.spmatrix, c_matrix: sp.spmatrix):
+        if g_matrix.shape != c_matrix.shape:
+            raise SimulationError("G and C must have the same shape")
+        g = self._canonical(g_matrix)
+        c = self._canonical(c_matrix)
+        # Union sparsity pattern via |G| + |C|: abs prevents cancellation, so
+        # every slot that is nonzero in either matrix survives the addition.
+        union = sp.csc_matrix(abs(g) + abs(c))
+        union.sort_indices()
+        n_rows = union.shape[0]
+        union_cols = np.repeat(np.arange(union.shape[1], dtype=np.int64),
+                               np.diff(union.indptr))
+        union_keys = union_cols * n_rows + union.indices
+        self.g_data = self._aligned_data(g, union, union_keys)
+        self.c_data = self._aligned_data(c, union, union_keys)
+        self._matrix = sp.csc_matrix(
+            (np.zeros(union.nnz, dtype=complex), union.indices, union.indptr),
+            shape=union.shape)
+
+    @staticmethod
+    def _canonical(matrix: sp.spmatrix) -> sp.csc_matrix:
+        csc = sp.csc_matrix(matrix).copy()
+        csc.sum_duplicates()
+        csc.eliminate_zeros()
+        csc.sort_indices()
+        return csc
+
+    @staticmethod
+    def _aligned_data(matrix: sp.csc_matrix, union: sp.csc_matrix,
+                      union_keys: np.ndarray) -> np.ndarray:
+        """Scatter ``matrix.data`` into the slots of the union pattern.
+
+        Both matrices are canonical CSC, so their (column, row) keys are
+        sorted and the matrix's pattern is a subset of the union's; a single
+        ``searchsorted`` finds every slot.
+        """
+        cols = np.repeat(np.arange(matrix.shape[1], dtype=np.int64),
+                         np.diff(matrix.indptr))
+        keys = cols * matrix.shape[0] + matrix.indices
+        data = np.zeros(union.nnz)
+        data[np.searchsorted(union_keys, keys)] = matrix.data
+        return data
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape
+
+    def assemble(self, s: complex) -> sp.csc_matrix:
+        """Return ``G + s*C`` on the shared pattern (in-place data update)."""
+        np.multiply(self.c_data, s, out=self._matrix.data)
+        self._matrix.data += self.g_data
+        return self._matrix

@@ -75,18 +75,22 @@ def transfer_function(circuit: Circuit, source_name: str,
                       observe_nodes: list[str],
                       frequencies: np.ndarray | list[float],
                       operating_point: DcSolution | None = None,
-                      dc_options: DcOptions | None = None) -> TransferFunction:
+                      dc_options: DcOptions | None = None,
+                      gmin: float = 1e-12) -> TransferFunction:
     """Compute ``V(node)/source`` for each node in ``observe_nodes``.
 
     The drive is applied as a unit AC excitation on the named independent
     source (voltage sources: 1 V, current sources: 1 A), so the returned
-    transfers are in V/V or V/A respectively.
+    transfers are in V/V or V/A respectively.  A precomputed
+    ``operating_point`` of the original circuit is reused directly (the clone
+    only changes AC magnitudes, which leave the DC solution untouched);
+    ``gmin`` is forwarded to the underlying AC sweep.
     """
     if not observe_nodes:
         raise SimulationError("at least one observation node is required")
     working = _activate_only(circuit, source_name)
     ac = ac_analysis(working, frequencies, operating_point=operating_point,
-                     dc_options=dc_options)
+                     dc_options=dc_options, gmin=gmin)
     transfers = {node: ac.voltage(node) for node in observe_nodes}
     return TransferFunction(source_name=source_name,
                             frequencies=np.asarray(ac.frequencies),

@@ -11,6 +11,12 @@ Fixed-step time-domain integration of the MNA system
   capacitances), which is accurate for the small perturbations that substrate
   noise represents.
 
+Performance notes: the linear path has a constant left-hand side, so it is
+LU-factorized exactly once (:class:`~repro.simulator.solver.Factorization`)
+and every time step is a cheap triangular solve; the source right-hand side
+is sampled over the whole time grid up front
+(:func:`repro.netlist.elements.SourceValue.sample`) instead of per step.
+
 The analysis is used to propagate substrate-noise waveforms through the
 extracted impact netlist and to produce the node waveforms the methodology
 promises for "all the nodes within the circuit".
@@ -30,6 +36,7 @@ from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .mna import MatrixStamper, MnaStructure, solve_sparse, stamp_linear_elements
+from .solver import Factorization, add_gmin_diagonal
 
 
 @dataclass
@@ -68,20 +75,34 @@ class TransientOptions:
     gmin: float = 1e-12
 
 
-def _source_rhs(circuit: Circuit, structure: MnaStructure, time: float) -> np.ndarray:
-    rhs = np.zeros(structure.size)
+def _source_rhs_rows(circuit: Circuit, structure: MnaStructure,
+                     times: np.ndarray) -> dict[int, np.ndarray]:
+    """Per-row source samples over the whole time grid.
+
+    Each source's waveform is sampled over ``times`` once; the result maps
+    only the RHS rows that sources actually touch to their ``(T,)`` sample
+    arrays, so memory stays O(sources * T) instead of a dense ``(T, size)``
+    block while the per-step work is a handful of scalar adds.
+    """
+    rows: dict[int, np.ndarray] = {}
+
+    def accumulate(row: int | None, samples: np.ndarray, sign: float) -> None:
+        if row is None:
+            return
+        existing = rows.get(row)
+        if existing is None:
+            rows[row] = sign * samples
+        else:
+            existing += sign * samples
+
     for element in circuit.sources():
-        value = element.value.value_at(time)
+        samples = element.value.sample(times)
         if isinstance(element, VoltageSource):
-            rhs[structure.branch_row(element.name)] = value
+            accumulate(structure.branch_row(element.name), samples, 1.0)
         elif isinstance(element, CurrentSource):
-            row_p = structure.node_row(element.node_p)
-            row_n = structure.node_row(element.node_n)
-            if row_p is not None:
-                rhs[row_p] -= value
-            if row_n is not None:
-                rhs[row_n] += value
-    return rhs
+            accumulate(structure.node_row(element.node_p), samples, -1.0)
+            accumulate(structure.node_row(element.node_n), samples, 1.0)
+    return rows
 
 
 def _nonlinear_contributions(circuit: Circuit, structure: MnaStructure,
@@ -116,11 +137,9 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
         operating_point = dc_operating_point(circuit, dc_options)
 
     linear = stamp_linear_elements(circuit, structure)
-    g_lin = linear.conductance_matrix().tolil()
-    for row in range(structure.n_nodes):
-        g_lin[row, row] += options.gmin
-    g_lin = g_lin.tocsr()
-    c_lin = linear.capacitance_matrix().tocsr()
+    g_lin = add_gmin_diagonal(linear.conductance_matrix(),
+                              structure.n_nodes, options.gmin)
+    c_lin = linear.capacitance_matrix()
 
     # Freeze the reactive part of the nonlinear devices at the operating point.
     nonlinear = circuit.nonlinear_elements()
@@ -146,30 +165,38 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
     c_over_h = (c_lin / timestep).tocsr()
     if use_trap:
         lhs_matrix = (g_lin + 2.0 * c_over_h).tocsr()
+        history_matrix = (2.0 * c_over_h - g_lin).tocsr()
     else:
         lhs_matrix = (g_lin + c_over_h).tocsr()
+        history_matrix = c_over_h
 
-    rhs_prev = _source_rhs(circuit, structure, 0.0)
-    for step in range(1, n_steps + 1):
-        time = times[step]
-        rhs_now = _source_rhs(circuit, structure, time)
-        x_prev = vectors[step - 1]
+    rhs_rows = _source_rhs_rows(circuit, structure, times)
 
-        if not nonlinear:
+    if not nonlinear:
+        # Constant LHS: factorize exactly once for the whole time grid.
+        lu = Factorization(lhs_matrix, structure=structure)
+        for step in range(1, n_steps + 1):
+            rhs_total = history_matrix @ vectors[step - 1]
             if use_trap:
-                history = (2.0 * c_over_h - g_lin) @ x_prev
-                rhs_total = rhs_now + rhs_prev + history
+                for row, samples in rhs_rows.items():
+                    rhs_total[row] += samples[step] + samples[step - 1]
             else:
-                rhs_total = rhs_now + c_over_h @ x_prev
-            vectors[step] = solve_sparse(lhs_matrix, rhs_total)
-        else:
+                for row, samples in rhs_rows.items():
+                    rhs_total[row] += samples[step]
+            vectors[step] = lu.solve(rhs_total)
+    else:
+        for step in range(1, n_steps + 1):
+            x_prev = vectors[step - 1]
             x = x_prev.copy()
+            base_rhs = c_over_h @ x_prev
+            for row, samples in rhs_rows.items():
+                base_rhs[row] += samples[step]
             converged = False
             for _ in range(options.newton_max_iterations):
                 companion = _nonlinear_contributions(circuit, structure, x)
                 matrix = (lhs_matrix + companion.conductance_matrix()).tocsr()
-                rhs_total = rhs_now + companion.rhs + c_over_h @ x_prev
-                x_new = solve_sparse(matrix, rhs_total)
+                rhs_total = base_rhs + companion.rhs
+                x_new = solve_sparse(matrix, rhs_total, structure=structure)
                 delta = np.max(np.abs(x_new[:structure.n_nodes] - x[:structure.n_nodes])) \
                     if structure.n_nodes else 0.0
                 x = x_new
@@ -178,9 +205,8 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
                     break
             if not converged:
                 raise ConvergenceError(
-                    f"transient Newton failed to converge at t = {time:.3e} s")
+                    f"transient Newton failed to converge at t = {times[step]:.3e} s")
             vectors[step] = x
-        rhs_prev = rhs_now
 
     return TransientSolution(circuit=circuit, structure=structure,
                              times=times, vectors=vectors)

@@ -145,20 +145,20 @@ class SubstrateMesh:
         """Surface cells (iz = 0) overlapped by ``rect`` with their overlap area.
 
         Returns a list of ``(ix, iy, overlap_area)``; an empty list means the
-        rectangle lies outside the meshed region.
+        rectangle lies outside the meshed region.  Overlaps are computed for
+        all cells at once by clipping the rectangle against the mesh edge
+        grids (an outer product of the per-axis overlap lengths).
         """
-        cells: list[tuple[int, int, float]] = []
-        dx = np.diff(self.x_edges)
-        dy = np.diff(self.y_edges)
-        x_centers = self.cell_centers_x()
-        y_centers = self.cell_centers_y()
-        for ix, (xc, wx) in enumerate(zip(x_centers, dx)):
-            for iy, (yc, wy) in enumerate(zip(y_centers, dy)):
-                cell_rect = Rect(xc - wx / 2, yc - wy / 2, xc + wx / 2, yc + wy / 2)
-                overlap = cell_rect.overlap_area(rect)
-                if overlap > 0.0:
-                    cells.append((ix, iy, overlap))
-        return cells
+        overlap_x = (np.minimum(self.x_edges[1:], rect.x1)
+                     - np.maximum(self.x_edges[:-1], rect.x0))
+        overlap_y = (np.minimum(self.y_edges[1:], rect.y1)
+                     - np.maximum(self.y_edges[:-1], rect.y0))
+        np.clip(overlap_x, 0.0, None, out=overlap_x)
+        np.clip(overlap_y, 0.0, None, out=overlap_y)
+        areas = np.outer(overlap_x, overlap_y)          # indexed [ix, iy]
+        xs, ys = np.nonzero(areas > 0.0)
+        return [(int(ix), int(iy), float(areas[ix, iy]))
+                for ix, iy in zip(xs, ys)]
 
     # -- assembly -----------------------------------------------------------------
 
@@ -176,40 +176,44 @@ class SubstrateMesh:
         z_centers = self.cell_centers_z()
         sigma = np.array([self.conductivity_at_depth(z) for z in z_centers])
 
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
+        # All neighbour couplings are assembled as whole index planes: the
+        # node grid is reshaped to (nz, ny, nx) and each direction contributes
+        # the conductances between adjacent slices in one broadcast expression.
+        nodes = np.arange(self.n_nodes).reshape(nz, ny, nx)
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
 
-        def add_conductance(a: int, b: int, g: float) -> None:
-            rows.extend((a, b, a, b))
-            cols.extend((a, b, b, a))
-            vals.extend((g, g, -g, -g))
+        def add_conductances(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
+            a, b, g = np.broadcast_arrays(a, b, g)
+            a, b, g = a.ravel(), b.ravel(), g.ravel()
+            row_parts.append(np.concatenate((a, b, a, b)))
+            col_parts.append(np.concatenate((a, b, b, a)))
+            val_parts.append(np.concatenate((g, g, -g, -g)))
 
-        for iz in range(nz):
-            for iy in range(ny):
-                for ix in range(nx):
-                    node = self.node_index(ix, iy, iz)
-                    # x-neighbour
-                    if ix + 1 < nx:
-                        other = self.node_index(ix + 1, iy, iz)
-                        area = dy[iy] * dz[iz]
-                        dist = 0.5 * (dx[ix] + dx[ix + 1])
-                        add_conductance(node, other, sigma[iz] * area / dist)
-                    # y-neighbour
-                    if iy + 1 < ny:
-                        other = self.node_index(ix, iy + 1, iz)
-                        area = dx[ix] * dz[iz]
-                        dist = 0.5 * (dy[iy] + dy[iy + 1])
-                        add_conductance(node, other, sigma[iz] * area / dist)
-                    # z-neighbour (series combination of the two half boxes,
-                    # which may have different conductivities)
-                    if iz + 1 < nz:
-                        other = self.node_index(ix, iy, iz + 1)
-                        area = dx[ix] * dy[iy]
-                        half_upper = 0.5 * dz[iz] / (sigma[iz] * area)
-                        half_lower = 0.5 * dz[iz + 1] / (sigma[iz + 1] * area)
-                        add_conductance(node, other, 1.0 / (half_upper + half_lower))
+        if nx > 1:
+            # x-neighbours: G = sigma * (dy*dz) / (0.5*(dx_i + dx_i+1))
+            g_x = (sigma[:, None, None] * dy[None, :, None] * dz[:, None, None]
+                   / (0.5 * (dx[:-1] + dx[1:]))[None, None, :])
+            add_conductances(nodes[:, :, :-1], nodes[:, :, 1:], g_x)
+        if ny > 1:
+            # y-neighbours: G = sigma * (dx*dz) / (0.5*(dy_i + dy_i+1))
+            g_y = (sigma[:, None, None] * dx[None, None, :] * dz[:, None, None]
+                   / (0.5 * (dy[:-1] + dy[1:]))[None, :, None])
+            add_conductances(nodes[:, :-1, :], nodes[:, 1:, :], g_y)
+        if nz > 1:
+            # z-neighbours: series combination of the two half boxes, which
+            # may have different conductivities.
+            area = dx[None, None, :] * dy[None, :, None]
+            half_upper = 0.5 * dz[:-1, None, None] / (sigma[:-1, None, None] * area)
+            half_lower = 0.5 * dz[1:, None, None] / (sigma[1:, None, None] * area)
+            add_conductances(nodes[:-1, :, :], nodes[1:, :, :],
+                             1.0 / (half_upper + half_lower))
 
-        matrix = sp.coo_matrix((vals, (rows, cols)),
-                               shape=(self.n_nodes, self.n_nodes))
+        if not row_parts:
+            return sp.csr_matrix((self.n_nodes, self.n_nodes))
+        matrix = sp.coo_matrix(
+            (np.concatenate(val_parts),
+             (np.concatenate(row_parts), np.concatenate(col_parts))),
+            shape=(self.n_nodes, self.n_nodes))
         return matrix.tocsr()

@@ -19,10 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from ..errors import ExtractionError
+from ..errors import ExtractionError, SimulationError
 from ..netlist.circuit import Circuit
+from ..simulator.solver import Factorization
 
 
 @dataclass
@@ -175,10 +175,13 @@ def kron_reduce(conductance: sp.spmatrix,
     if len(port_contact_conductance) != n_ports:
         raise ExtractionError("contact conductance list length mismatch")
 
-    # Augmented system: mesh nodes first, then one node per port.
-    size = n_mesh + n_ports
-    augmented = sp.lil_matrix((size, size))
-    augmented[:n_mesh, :n_mesh] = conductance
+    # The Schur blocks of the augmented (mesh + port) system are assembled
+    # directly — no augmented matrix is ever formed.  Port couplings only add
+    # to the internal diagonal (Y_ii), the dense internal-to-port block
+    # (Y_ip) and the port diagonal (Y_pp).
+    internal_diagonal = np.zeros(n_mesh)
+    y_ip = np.zeros((n_mesh, n_ports))
+    y_pp = np.zeros((n_ports, n_ports))
 
     for port_idx, (nodes, g_total) in enumerate(zip(port_nodes, port_contact_conductance)):
         if not nodes:
@@ -187,7 +190,6 @@ def kron_reduce(conductance: sp.spmatrix,
                 "(is the shape outside the meshed region?)")
         if g_total <= 0:
             raise ExtractionError("port contact conductance must be positive")
-        row = n_mesh + port_idx
         if isinstance(nodes[0], tuple):
             weighted = [(int(node), float(g)) for node, g in nodes]
         else:
@@ -196,31 +198,22 @@ def kron_reduce(conductance: sp.spmatrix,
         for node, share in weighted:
             if share <= 0:
                 raise ExtractionError("per-node contact conductance must be positive")
-            augmented[row, row] += share
-            augmented[node, node] += share
-            augmented[row, node] -= share
-            augmented[node, row] -= share
-
-    augmented = augmented.tocsc()
-    internal = np.arange(n_mesh)
-    ports = np.arange(n_mesh, size)
-
-    y_ii = augmented[np.ix_(internal, internal)].tocsc()
-    y_ip = augmented[np.ix_(internal, ports)].toarray()
-    y_pp = augmented[np.ix_(ports, ports)].toarray()
+            internal_diagonal[node] += share
+            y_ip[node, port_idx] -= share
+            y_pp[port_idx, port_idx] += share
 
     # Regularise the internal block minimally: the floating mesh Laplacian is
     # singular only together with the port rows, and after connecting ports it
     # is non-singular; a tiny diagonal shift guards against round-off.
-    y_ii = y_ii + sp.identity(n_mesh, format="csc") * 1e-12
+    y_ii = (sp.csc_matrix(conductance)
+            + sp.diags(internal_diagonal + 1e-12, format="csc"))
 
+    # One LU factorization of Y_ii, one multi-RHS solve against every port
+    # column at once.
     try:
-        solved = spla.spsolve(y_ii, sp.csc_matrix(y_ip))
-    except RuntimeError as exc:
+        solved = Factorization(y_ii).solve(y_ip)
+    except SimulationError as exc:
         raise ExtractionError(f"substrate reduction failed: {exc}") from exc
-    if sp.issparse(solved):
-        solved = solved.toarray()
-    solved = np.asarray(solved).reshape(n_mesh, n_ports)
     reduced = y_pp - y_ip.T @ solved
     # Enforce symmetry (numerical round-off).
     reduced = 0.5 * (reduced + reduced.T)

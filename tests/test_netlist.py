@@ -17,6 +17,7 @@ from repro.netlist import (
     SourceValue,
     Subcircuit,
     VoltageSource,
+    vectorized_waveform,
 )
 from repro.technology import make_technology
 
@@ -52,6 +53,39 @@ def test_source_value_sine_and_phasor():
     phasor = SourceValue(ac_magnitude=1.0, ac_phase_deg=90.0).ac_phasor
     assert phasor.real == pytest.approx(0.0, abs=1e-12)
     assert phasor.imag == pytest.approx(1.0)
+
+
+def test_source_value_sample_grid():
+    import numpy as np
+
+    times = np.linspace(0.0, 1e-6, 11)
+    # No waveform: the DC level everywhere.
+    assert np.allclose(SourceValue(dc=2.5).sample(times), 2.5)
+    # Marked vectorized waveform (sine): one array call, exact values.
+    sine = SourceValue.sine(1.0, 1e6)
+    assert np.allclose(sine.sample(times),
+                       [sine.value_at(t) for t in times])
+    # Unmarked stateful waveform: evaluated strictly once per time point.
+    draws = iter(range(100))
+    stateful = SourceValue(waveform=lambda t: float(next(draws)))
+    assert np.array_equal(stateful.sample(times), np.arange(11.0))
+    # A vectorized waveform returning the wrong shape is rejected.
+    bad = SourceValue(waveform=vectorized_waveform(lambda t: 1.0))
+    with pytest.raises(NetlistError):
+        bad.sample(times)
+
+
+def test_vectorized_waveform_does_not_mutate_grid():
+    import numpy as np
+
+    @vectorized_waveform
+    def mutating(t):
+        t *= 2.0
+        return np.sin(t)
+
+    times = np.linspace(0.0, 1.0, 5)
+    SourceValue(waveform=mutating).sample(times)
+    assert np.array_equal(times, np.linspace(0.0, 1.0, 5))
 
 
 def test_source_value_without_waveform_holds_dc():

@@ -1,0 +1,304 @@
+"""Solver core: cached factorizations, shared patterns, gmin, singular errors.
+
+The equivalence tests assert that every cached-factorization / shared-pattern
+path produces results identical (atol <= 1e-12) to a direct ``spsolve`` of the
+same systems, for DC, AC, linear transient, Newton transient and the Kron
+reduction of a small substrate mesh.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SimulationError
+from repro.layout.geometry import Rect
+from repro.netlist import Circuit, SourceValue
+from repro.simulator import (
+    ac_analysis,
+    dc_operating_point,
+    transient_analysis,
+)
+from repro.simulator.mna import MnaStructure, solve_sparse, stamp_linear_elements
+from repro.simulator.solver import (
+    Factorization,
+    SharedPatternPair,
+    add_gmin_diagonal,
+    stats,
+)
+from repro.simulator.transient import TransientOptions
+from repro.substrate import MeshSpec, SubstrateMesh, kron_reduce
+from repro.technology import make_technology
+
+ATOL = 1e-12
+
+
+def _rc_circuit():
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("V1", "in", "0",
+                               SourceValue(dc=1.0, ac_magnitude=1.0,
+                                           waveform=lambda t: 1.0))
+    circuit.add_resistor("R1", "in", "mid", 1e3)
+    circuit.add_resistor("R2", "mid", "0", 2e3)
+    circuit.add_capacitor("C1", "mid", "0", 1e-9)
+    circuit.add_inductor("L1", "mid", "out", 1e-6)
+    circuit.add_resistor("R3", "out", "0", 50.0)
+    return circuit
+
+
+def _mosfet_circuit(technology):
+    circuit = Circuit("cs")
+    circuit.add_voltage_source("VDD", "vdd", "0", 1.8)
+    circuit.add_voltage_source("VG", "g", "0",
+                               SourceValue(dc=0.9, ac_magnitude=1.0,
+                                           waveform=lambda t: 0.9 + 0.05 * min(t / 1e-7, 1.0)))
+    circuit.add_resistor("RL", "vdd", "d", 1e3)
+    circuit.add_mosfet("M1", "d", "g", "0", "0",
+                       technology.mos_parameters("nmos_rf"),
+                       width=10e-6, length=0.18e-6)
+    return circuit
+
+
+# -- Factorization ----------------------------------------------------------------------
+
+
+def test_factorization_matches_spsolve():
+    rng = np.random.default_rng(7)
+    dense = rng.normal(size=(30, 30)) + 30.0 * np.eye(30)
+    matrix = sp.csc_matrix(dense)
+    rhs = rng.normal(size=30)
+    lu = Factorization(matrix)
+    assert np.allclose(lu.solve(rhs), spla.spsolve(matrix, rhs), atol=ATOL)
+
+
+def test_factorization_multi_rhs_matches_columnwise():
+    rng = np.random.default_rng(11)
+    dense = rng.normal(size=(20, 20)) + 20.0 * np.eye(20)
+    matrix = sp.csc_matrix(dense)
+    block = rng.normal(size=(20, 5))
+    lu = Factorization(matrix)
+    solved = lu.solve(block)
+    for k in range(block.shape[1]):
+        assert np.allclose(solved[:, k], spla.spsolve(matrix, block[:, k]),
+                           atol=ATOL)
+
+
+def test_factorization_complex_rhs_on_real_matrix():
+    rng = np.random.default_rng(3)
+    dense = rng.normal(size=(12, 12)) + 12.0 * np.eye(12)
+    matrix = sp.csc_matrix(dense)
+    rhs = rng.normal(size=12) + 1j * rng.normal(size=12)
+    solved = Factorization(matrix).solve(rhs)
+    assert np.allclose(solved, spla.spsolve(matrix, rhs), atol=ATOL)
+
+
+def test_factorization_rejects_singular():
+    matrix = sp.csc_matrix(np.zeros((3, 3)))
+    with pytest.raises(SimulationError):
+        Factorization(matrix)
+
+
+def test_factorization_counts_in_stats():
+    matrix = sp.csc_matrix(5.0 * np.eye(4))
+    stats.reset()
+    lu = Factorization(matrix)
+    for _ in range(7):
+        lu.solve(np.ones(4))
+    assert stats.factorizations == 1
+    assert stats.solves == 7
+
+
+# -- equivalence: analyses vs direct spsolve -------------------------------------------
+
+
+def test_dc_equivalent_to_direct_spsolve():
+    circuit = _rc_circuit()
+    solution = dc_operating_point(circuit)
+
+    structure = MnaStructure.from_circuit(circuit)
+    stamper = stamp_linear_elements(circuit, structure)
+    matrix = add_gmin_diagonal(stamper.conductance_matrix(),
+                               structure.n_nodes, 1e-12)
+    rhs = np.zeros(structure.size)
+    rhs[structure.branch_row("V1")] = 1.0
+    direct = spla.spsolve(matrix.tocsc(), rhs)
+    assert np.allclose(solution.vector, direct, atol=ATOL)
+
+
+def test_ac_equivalent_to_direct_spsolve():
+    circuit = _rc_circuit()
+    frequencies = np.logspace(3, 9, 13)
+    ac = ac_analysis(circuit, frequencies)
+
+    structure = MnaStructure.from_circuit(circuit)
+    stamper = stamp_linear_elements(circuit, structure)
+    g = add_gmin_diagonal(stamper.conductance_matrix(), structure.n_nodes, 1e-12)
+    c = stamper.capacitance_matrix()
+    rhs = np.zeros(structure.size, dtype=complex)
+    rhs[structure.branch_row("V1")] = 1.0
+    for index, frequency in enumerate(frequencies):
+        matrix = (g + 2j * np.pi * frequency * c).tocsc()
+        direct = spla.spsolve(matrix, rhs)
+        assert np.allclose(ac.vectors[index], direct, atol=ATOL)
+
+
+def test_linear_transient_equivalent_to_direct_spsolve():
+    circuit = _rc_circuit()
+    timestep = 1e-8
+    result = transient_analysis(circuit, t_stop=2e-6, timestep=timestep)
+
+    structure = MnaStructure.from_circuit(circuit)
+    stamper = stamp_linear_elements(circuit, structure)
+    g = add_gmin_diagonal(stamper.conductance_matrix(), structure.n_nodes, 1e-12)
+    c = stamper.capacitance_matrix()
+    lhs = (g + c / timestep).tocsc()
+    rhs_template = np.zeros(structure.size)
+    rhs_template[structure.branch_row("V1")] = 1.0
+
+    x = result.vectors[0].copy()
+    for step in range(1, len(result.times)):
+        rhs = rhs_template + (c / timestep) @ x
+        x = spla.spsolve(lhs, rhs)
+        assert np.allclose(result.vectors[step], x, atol=ATOL)
+
+
+def test_newton_transient_matches_reference_tolerance(technology):
+    """The Newton path still uses per-iteration solves; the refactored
+    stamping must reproduce the same waveforms as an independent run."""
+    circuit = _mosfet_circuit(technology)
+    a = transient_analysis(circuit, t_stop=2e-7, timestep=2e-9)
+    b = transient_analysis(circuit, t_stop=2e-7, timestep=2e-9)
+    assert np.allclose(a.vectors, b.vectors, atol=ATOL)
+    # And the end point tracks the 50 mV gate step with a sane drain swing.
+    assert a.voltage("d")[-1] != pytest.approx(a.voltage("d")[0], abs=1e-6)
+
+
+def test_kron_reduction_equivalent_to_direct_schur(technology):
+    spec = MeshSpec(region=Rect(0, 0, 100e-6, 100e-6), nx=5, ny=5,
+                    max_depth=80e-6, n_z_per_layer=2)
+    mesh = SubstrateMesh(spec=spec, profile=technology.substrate)
+    g = mesh.conductance_matrix()
+    left = [mesh.node_index(0, iy, 0) for iy in range(mesh.ny)]
+    right = [mesh.node_index(mesh.nx - 1, iy, 0) for iy in range(mesh.ny)]
+    macro = kron_reduce(g, [left, right], ["left", "right"], [1e4, 1e4])
+
+    # Direct dense Schur complement of the augmented system.
+    n = g.shape[0]
+    augmented = np.zeros((n + 2, n + 2))
+    augmented[:n, :n] = g.toarray()
+    for port, nodes in enumerate((left, right)):
+        share = 1e4 / len(nodes)
+        row = n + port
+        for node in nodes:
+            augmented[row, row] += share
+            augmented[node, node] += share
+            augmented[row, node] -= share
+            augmented[node, row] -= share
+    y_ii = augmented[:n, :n] + 1e-12 * np.eye(n)
+    y_ip = augmented[:n, n:]
+    y_pp = augmented[n:, n:]
+    reference = y_pp - y_ip.T @ np.linalg.solve(y_ii, y_ip)
+    reference = 0.5 * (reference + reference.T)
+    assert np.allclose(macro.admittance, reference,
+                       atol=1e-12 * np.abs(reference).max())
+
+
+# -- factorization caching guarantees ---------------------------------------------------
+
+
+def test_linear_transient_single_factorization():
+    """A linear transient must factorize once, no matter the step count."""
+    circuit = _rc_circuit()
+    operating_point = dc_operating_point(circuit)
+    for n_steps in (10, 500):
+        stats.reset()
+        transient_analysis(circuit, t_stop=n_steps * 1e-8, timestep=1e-8,
+                           operating_point=operating_point)
+        assert stats.factorizations == 1
+        assert stats.solves == n_steps
+
+
+# -- shared-pattern AC assembly ---------------------------------------------------------
+
+
+def test_shared_pattern_matches_sparse_add():
+    rng = np.random.default_rng(5)
+    g = sp.random(40, 40, density=0.1, format="csr", random_state=1)
+    c = sp.random(40, 40, density=0.1, format="csr", random_state=2)
+    pair = SharedPatternPair(g, c)
+    for omega in (0.0, 1e3, 1e9):
+        direct = (g + 1j * omega * c).toarray()
+        assert np.allclose(pair.assemble(1j * omega).toarray(), direct,
+                           atol=ATOL)
+
+
+def test_shared_pattern_reuses_structure_per_point():
+    """The AC sweep allocates no new sparse structure per frequency point."""
+    g = sp.random(30, 30, density=0.15, format="csr", random_state=3)
+    c = sp.random(30, 30, density=0.15, format="csr", random_state=4)
+    pair = SharedPatternPair(g, c)
+    first = pair.assemble(1j * 10.0)
+    indices, indptr, data = first.indices, first.indptr, first.data
+    second = pair.assemble(1j * 1e6)
+    assert second is first
+    assert second.indices is indices
+    assert second.indptr is indptr
+    assert second.data is data
+
+
+def test_shared_pattern_disjoint_and_empty_patterns():
+    g = sp.csr_matrix(np.diag([1.0, 2.0, 0.0]))
+    c = sp.csr_matrix(([5.0], ([2], [0])), shape=(3, 3))
+    pair = SharedPatternPair(g, c)
+    assert np.allclose(pair.assemble(2j).toarray(),
+                       g.toarray() + 2j * c.toarray(), atol=ATOL)
+    empty = SharedPatternPair(sp.csr_matrix((2, 2)), sp.csr_matrix((2, 2)))
+    assert empty.assemble(1j).nnz == 0
+
+
+# -- gmin helper ------------------------------------------------------------------------
+
+
+def test_add_gmin_only_touches_node_rows():
+    matrix = sp.csr_matrix(np.zeros((4, 4)))
+    result = add_gmin_diagonal(matrix, 2, 1e-9).toarray()
+    assert np.allclose(np.diag(result), [1e-9, 1e-9, 0.0, 0.0])
+    assert np.count_nonzero(result - np.diag(np.diag(result))) == 0
+
+
+def test_add_gmin_noop_cases():
+    matrix = sp.csr_matrix(np.eye(3))
+    assert np.allclose(add_gmin_diagonal(matrix, 0, 1e-9).toarray(), np.eye(3))
+    assert np.allclose(add_gmin_diagonal(matrix, 3, 0.0).toarray(), np.eye(3))
+
+
+# -- singular-matrix diagnostics --------------------------------------------------------
+
+
+def test_solve_sparse_promotes_rank_warning_to_error():
+    # Structurally full but numerically singular: duplicate rows.
+    matrix = sp.csc_matrix(np.array([[1.0, 2.0], [1.0, 2.0]]))
+    with pytest.raises(SimulationError, match="singular"):
+        solve_sparse(matrix, np.ones(2))
+
+
+def test_solve_sparse_names_floating_node():
+    circuit = Circuit("f")
+    circuit.add_voltage_source("V1", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "0", 1.0)
+    circuit.add_resistor("Rfloat", "a", "b", 1.0)
+    structure = MnaStructure.from_circuit(circuit)
+    stamper = stamp_linear_elements(circuit, structure)
+    # A matrix with an all-zero row (simulating a floating node) must name it.
+    matrix = stamper.conductance_matrix().tolil()
+    row = structure.node_row("a")
+    matrix[row, :] = 0.0
+    matrix[:, row] = 0.0
+    with pytest.raises(SimulationError, match="node 'a'"):
+        solve_sparse(matrix.tocsr(), stamper.rhs, structure=structure)
+
+
+def test_solve_sparse_empty_and_nonsquare():
+    assert solve_sparse(sp.csr_matrix((0, 0)), np.zeros(0)).size == 0
+    with pytest.raises(SimulationError):
+        solve_sparse(sp.csr_matrix((2, 3)), np.zeros(2))
