@@ -1,15 +1,17 @@
 #!/usr/bin/env python
 """Write a perf snapshot of the reproduction flow to ``BENCH_<n>.json``.
 
-Runs the Figure-10 runtime flow (extraction + one V_tune impact sweep) plus
-the solver micro-benchmarks and records wall-clock seconds, so every PR
-leaves a trajectory point future changes can be regressed against:
+Runs the Figure-10 runtime flow (extraction + one V_tune impact sweep), the
+solver micro-benchmarks and the design-study sweep benchmark (serial vs
+sharded, cold vs warm extraction cache) and records wall-clock seconds, so
+every PR leaves a trajectory point future changes can be regressed against:
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output BENCH_1.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --section sweep  # just one
 
-The snapshot includes the solver counters (factorizations / solves) of the
-simulation stage as a cheap structural regression check alongside the raw
-timings.
+The snapshot includes the solver counters (factorizations / solves) and the
+extraction-cache counters (hits / misses) as cheap structural regression
+checks alongside the raw timings.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from repro.simulator.solver import stats  # noqa: E402
 from repro.technology import make_technology  # noqa: E402
 
 from _report import NOISE_FREQUENCIES  # noqa: E402
-from test_solver_micro import GRID_SIZE, _grid_circuit  # noqa: E402
+from test_solver_micro import GRID_SIZE, run_solver_micro_stages  # noqa: E402
 
 
 def _bench_flow() -> dict:
@@ -73,33 +75,85 @@ def _bench_flow() -> dict:
 
 
 def _bench_solver_micro() -> dict:
-    from repro.simulator import ac_analysis, dc_operating_point, transient_analysis
-    from repro.simulator.mna import MnaStructure, stamp_linear_elements
+    return {"grid_size": GRID_SIZE, **run_solver_micro_stages()}
 
-    circuit = _grid_circuit()
-    structure = MnaStructure.from_circuit(circuit)
+
+def _bench_sweep() -> dict:
+    """Design-study sweep: serial vs sharded, cold vs warm extraction cache."""
+    from repro.core.flow import FlowOptions
+    from repro.studies import (
+        Campaign,
+        ExtractionCache,
+        ParamSpace,
+        ProcessPoolBackend,
+        SerialBackend,
+        SweepRunner,
+    )
+    from repro.substrate.extraction import SubstrateExtractionOptions
+
+    technology = make_technology()
+    options = VcoExperimentOptions(
+        flow=FlowOptions(substrate=SubstrateExtractionOptions(
+            nx=40, ny=40, lateral_margin=60e-6)))
+    campaign = Campaign(
+        name="bench_grid_width_study",
+        space=ParamSpace({
+            "ground_width_scale": (1.0, 2.0),
+            "vtune": (0.0, 0.75, 1.5),
+            "noise_frequency": NOISE_FREQUENCIES,
+        }),
+        options=options)
+
+    cache = ExtractionCache()
+    serial = SweepRunner(technology, backend=SerialBackend(), cache=cache)
 
     start = time.perf_counter()
-    stamp_linear_elements(circuit, structure).conductance_matrix()
-    stamping_seconds = time.perf_counter() - start
-
-    operating_point = dc_operating_point(circuit)
-    start = time.perf_counter()
-    transient_analysis(circuit, t_stop=4e-7, timestep=1e-9,
-                       operating_point=operating_point)
-    transient_seconds = time.perf_counter() - start
+    cold = serial.run(campaign)
+    serial_cold_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    ac_analysis(circuit, np.logspace(4, 9, 64))
-    ac_seconds = time.perf_counter() - start
+    warm = serial.run(campaign)
+    serial_warm_seconds = time.perf_counter() - start
 
+    # Sharded cold run against its own cache: the per-variant extractions
+    # (the expensive half) are fanned out across the workers too.
+    sharded_cold_runner = SweepRunner(
+        technology, backend=ProcessPoolBackend(max_workers=2),
+        cache=ExtractionCache())
+    start = time.perf_counter()
+    sharded_cold = sharded_cold_runner.run(campaign)
+    sharded_cold_seconds = time.perf_counter() - start
+
+    sharded = SweepRunner(technology, backend=ProcessPoolBackend(max_workers=2),
+                          cache=cache)
+    start = time.perf_counter()
+    sharded_result = sharded.run(campaign)
+    sharded_warm_seconds = time.perf_counter() - start
+
+    max_difference = float(np.max(np.abs(
+        cold.column("spur_power_dbm") - sharded_result.column("spur_power_dbm"))))
     return {
-        "grid_size": GRID_SIZE,
-        "unknowns": structure.size,
-        "stamping_seconds": stamping_seconds,
-        "transient_400_steps_seconds": transient_seconds,
-        "ac_sweep_64_points_seconds": ac_seconds,
+        "points": len(cold),
+        "layout_variants": len(cold.variants),
+        "serial_cold_seconds": serial_cold_seconds,
+        "serial_warm_seconds": serial_warm_seconds,
+        "sharded_2workers_cold_seconds": sharded_cold_seconds,
+        "sharded_2workers_warm_seconds": sharded_warm_seconds,
+        "cold_extractions": cold.cache_misses,
+        "warm_extractions": warm.cache_misses,
+        "sharded_cold_extractions": sharded_cold.cache_misses,
+        "sharded_warm_extractions": sharded_result.cache_misses,
+        "cache_totals": {"hits": cache.hits, "misses": cache.misses},
+        "serial_vs_sharded_max_abs_dbm": max_difference,
     }
+
+
+#: Snapshot sections and the functions that produce them.
+SECTIONS = {
+    "flow": _bench_flow,
+    "solver_micro": _bench_solver_micro,
+    "sweep": _bench_sweep,
+}
 
 
 def _next_snapshot_path() -> Path:
@@ -115,19 +169,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the snapshot JSON "
                              "(default: the next unused BENCH_<n>.json)")
+    parser.add_argument("--section", choices=sorted(SECTIONS), action="append",
+                        default=None,
+                        help="record only the named section(s); "
+                             "repeatable (default: all sections)")
     args = parser.parse_args(argv)
     if args.output is None:
         args.output = _next_snapshot_path()
+    sections = args.section or sorted(SECTIONS)
+
+    import os
 
     snapshot = {
-        "benchmark": "figure10_runtime_flow",
+        "benchmark": "repro_perf_snapshot",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "flow": _bench_flow(),
-        "solver_micro": _bench_solver_micro(),
+        "cpu_count": os.cpu_count(),
     }
-    snapshot["flow"]["total_seconds"] = (snapshot["flow"]["extraction_seconds"]
-                                         + snapshot["flow"]["simulation_seconds"])
+    for name in sections:
+        snapshot[name] = SECTIONS[name]()
+    if "flow" in snapshot:
+        snapshot["flow"]["total_seconds"] = (
+            snapshot["flow"]["extraction_seconds"]
+            + snapshot["flow"]["simulation_seconds"])
 
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -50,6 +50,38 @@ def _grid_circuit(size: int = GRID_SIZE) -> Circuit:
     return circuit
 
 
+def run_solver_micro_stages() -> dict[str, float]:
+    """Time the three solver hot paths once on the grid circuit.
+
+    Shared by the pytest report below and ``run_bench.py``'s snapshot so the
+    two records cannot drift apart.  Returns stage -> wall-clock seconds plus
+    the system size under ``unknowns``.
+    """
+    circuit = _grid_circuit()
+    structure = MnaStructure.from_circuit(circuit)
+
+    start = time.perf_counter()
+    stamp_linear_elements(circuit, structure).conductance_matrix()
+    stamp_seconds = time.perf_counter() - start
+
+    operating_point = dc_operating_point(circuit)
+    start = time.perf_counter()
+    transient_analysis(circuit, t_stop=4e-7, timestep=1e-9,
+                       operating_point=operating_point)
+    transient_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ac_analysis(circuit, np.logspace(4, 9, 64))
+    ac_seconds = time.perf_counter() - start
+
+    return {
+        "unknowns": structure.size,
+        "stamping_seconds": stamp_seconds,
+        "transient_400_steps_seconds": transient_seconds,
+        "ac_sweep_64_points_seconds": ac_seconds,
+    }
+
+
 def test_stamping_micro_benchmark(benchmark):
     circuit = _grid_circuit()
     structure = MnaStructure.from_circuit(circuit)
@@ -91,32 +123,18 @@ def test_ac_sweep_micro_benchmark(benchmark):
 
 def test_solver_micro_report():
     """One-shot wall-clock table of the three micro-benchmarks."""
-    circuit = _grid_circuit()
-    structure = MnaStructure.from_circuit(circuit)
-
-    start = time.perf_counter()
-    stamp_linear_elements(circuit, structure).conductance_matrix()
-    stamp_seconds = time.perf_counter() - start
-
-    operating_point = dc_operating_point(circuit)
-    start = time.perf_counter()
-    transient_analysis(circuit, t_stop=4e-7, timestep=1e-9,
-                       operating_point=operating_point)
-    transient_seconds = time.perf_counter() - start
-
-    frequencies = np.logspace(4, 9, 64)
-    start = time.perf_counter()
-    ac_analysis(circuit, frequencies)
-    ac_seconds = time.perf_counter() - start
-
+    stages = run_solver_micro_stages()
     print_table(
         f"Solver micro-benchmarks ({GRID_SIZE}x{GRID_SIZE} grid, "
-        f"{structure.size} unknowns)",
+        f"{stages['unknowns']} unknowns)",
         [
-            {"stage": "stamping + CSR build", "seconds": stamp_seconds},
-            {"stage": "transient (400 steps)", "seconds": transient_seconds},
-            {"stage": "AC sweep (64 points)", "seconds": ac_seconds},
+            {"stage": "stamping + CSR build",
+             "seconds": stages["stamping_seconds"]},
+            {"stage": "transient (400 steps)",
+             "seconds": stages["transient_400_steps_seconds"]},
+            {"stage": "AC sweep (64 points)",
+             "seconds": stages["ac_sweep_64_points_seconds"]},
         ])
-    assert stamp_seconds < 5.0
-    assert transient_seconds < 30.0
-    assert ac_seconds < 30.0
+    assert stages["stamping_seconds"] < 5.0
+    assert stages["transient_400_steps_seconds"] < 30.0
+    assert stages["ac_sweep_64_points_seconds"] < 30.0

@@ -1,10 +1,14 @@
 """Design exploration: how much does the on-chip ground grid buy you?
 
 Reproduces Figure 10 (ground interconnect widened by 2x -> ~4.5 dB less
-impact) and extends it into a small design sweep over the ground-wire width,
+impact) and extends it into a design sweep over the ground-wire width,
 the design advice the paper closes with: "a designer could improve the noise
 immunity of his circuit by lowering the resistance in the on-chip ground
 interconnect".
+
+Both studies run on the :mod:`repro.studies` sweep engine: the Figure-10
+study is a two-variant layout campaign, and the width sweep a four-variant
+campaign whose extractions are shared through one content-addressed cache.
 
 Run with::
 
@@ -16,12 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.flow import FlowOptions
-from repro.core.vco_experiment import (
-    VcoExperimentOptions,
-    VcoImpactAnalysis,
-    ground_resistance_study,
-)
-from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING, VcoLayoutSpec
+from repro.core.vco_experiment import VcoExperimentOptions, ground_resistance_study
+from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING
+from repro.studies import Campaign, ExtractionCache, ParamSpace, SweepRunner
 from repro.substrate import SubstrateExtractionOptions
 from repro.technology import make_technology
 
@@ -31,10 +32,11 @@ def main() -> None:
     frequencies = tuple(float(f) for f in np.logspace(5, np.log10(15e6), 6))
     options = VcoExperimentOptions(vtune_values=(0.0,),
                                    noise_frequencies=frequencies)
+    cache = ExtractionCache()
 
     # --- Figure 10: nominal layout versus doubled ground-wire width ------------
     study = ground_resistance_study(technology, options=options,
-                                    width_scale=2.0, vtune=0.0)
+                                    width_scale=2.0, vtune=0.0, cache=cache)
     print("Figure 10 — ground interconnect resistance halved")
     print(f"  nominal ground resistance : {study.nominal_ground_resistance:.1f} ohm")
     print(f"  improved ground resistance: {study.improved_ground_resistance:.1f} ohm")
@@ -46,21 +48,29 @@ def main() -> None:
     print(f"  mean reduction: {study.predicted_reduction_db:.2f} dB "
           f"(paper predicts ~4.5 dB, ideal 6 dB)")
 
-    # --- extension: sweep the ground-wire width ---------------------------------
+    # --- extension: sweep the ground-wire width as a campaign -------------------
     print("\nDesign sweep — ground-wire width versus impact at 1 MHz")
     sweep_options = VcoExperimentOptions(
         vtune_values=(0.0,), noise_frequencies=(1e6,),
         flow=FlowOptions(substrate=SubstrateExtractionOptions(
             nx=40, ny=40, lateral_margin=60e-6)))
+    campaign = Campaign(
+        name="ground_width_sweep",
+        space=ParamSpace({"ground_width_scale": (0.5, 1.0, 2.0, 4.0),
+                          "vtune": (0.0,), "noise_frequency": (1e6,)}),
+        options=sweep_options)
+    sweep = SweepRunner(technology, cache=cache).run(campaign)
+    worst_per_scale = sweep.worst_per("ground_width_scale")
     print("  width scale   R_gnd [ohm]   spur at 1 MHz [dBm]")
-    for scale in (0.5, 1.0, 2.0, 4.0):
-        spec = VcoLayoutSpec(ground_width_scale=scale)
-        analysis = VcoImpactAnalysis(technology, spec=spec, options=sweep_options)
-        results, _vco, _catalog, _tf = analysis.analyze(0.0, np.array([1e6]))
-        resistance = analysis.flow.interconnect.resistance_between(
+    for variant in sweep.variants:
+        scale = variant.knobs["ground_width_scale"]
+        resistance = variant.flow.interconnect.resistance_between(
             NET_GROUND_RING, NET_GROUND_PAD)
+        record = worst_per_scale[scale]
         print(f"  {scale:11.1f}   {resistance:11.1f}   "
-              f"{results[0].total_spur_power_dbm():19.1f}")
+              f"{record.spur_power_dbm:19.1f}")
+    print(f"  ({sweep.cache_misses} extractions for "
+          f"{len(sweep.variants)} variants; cache totals: {cache.stats})")
 
 
 if __name__ == "__main__":

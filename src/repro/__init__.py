@@ -17,6 +17,8 @@ The package provides every stage of the paper's Figure-2 flow:
 * :mod:`repro.simulator` — sparse-MNA DC / AC / transfer / transient engine,
 * :mod:`repro.devices`, :mod:`repro.vco` — device and LC-tank VCO models,
 * :mod:`repro.core` — the assembled methodology and the per-figure experiments,
+* :mod:`repro.studies` — the design-study sweep engine (declarative spur
+  campaigns, extraction cache, serial / process-pool execution backends),
 * :mod:`repro.analysis`, :mod:`repro.data` — spectrum/comparison utilities and
   the reference values reconstructed from the paper.
 
@@ -41,6 +43,7 @@ from . import (
     netlist,
     package,
     simulator,
+    studies,
     substrate,
     technology,
     units,
@@ -79,6 +82,7 @@ __all__ = [
     "netlist",
     "package",
     "simulator",
+    "studies",
     "substrate",
     "technology",
     "units",

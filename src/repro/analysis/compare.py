@@ -66,6 +66,24 @@ def compare_curves(axis_ref: np.ndarray, reference_db: np.ndarray,
                            simulated_db=interpolated)
 
 
+def reference_slope_line(frequencies: np.ndarray, anchor_db: float,
+                         slope_db_per_decade: float) -> np.ndarray:
+    """Ideal dB line of the given slope anchored at the first frequency.
+
+    The paper does not tabulate absolute spur levels, so the Figure-8/10
+    reference curves are mechanism lines (e.g. -20 dB/decade for resistive
+    coupling + FM) anchored at the first simulated point; this helper builds
+    them for both the classic experiments and the sweep engine.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.size == 0:
+        raise AnalysisError("need at least one frequency for a reference line")
+    if np.any(frequencies <= 0):
+        raise AnalysisError("frequencies must be positive for a log-axis line")
+    decades = np.log10(frequencies / frequencies[0])
+    return anchor_db + slope_db_per_decade * decades
+
+
 def slope_per_decade(frequencies: np.ndarray, level_db: np.ndarray) -> float:
     """Least-squares slope of a dB curve against log10(frequency), in dB/decade.
 

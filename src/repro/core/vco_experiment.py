@@ -20,6 +20,12 @@ On top of that, the module provides the figure-level experiments:
 * :meth:`VcoImpactAnalysis.output_spectrum` — Figure 7 (spectrum-analyzer view
   of the VCO output with a 10 MHz tone in the substrate),
 * :func:`ground_resistance_study` — Figure 10 (ground wires widened by 2x).
+
+The grid-style experiments (:meth:`VcoImpactAnalysis.spur_sweep`,
+:func:`ground_resistance_study`) run on the :mod:`repro.studies` sweep
+engine: they accept an execution ``backend`` (serial or process-pool) and an
+extraction ``cache`` shared across studies, while returning the same result
+objects as before.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..analysis.compare import classify_mechanism, compare_curves, slope_per_decade
+from ..analysis.compare import classify_mechanism, slope_per_decade
 from ..analysis.spectrum import Spectrum, compute_spectrum
 from ..analysis.waveforms import SinusoidalNoise
 from ..data import measurements
@@ -72,7 +78,6 @@ from .results import (
     ContributionResult,
     DesignStudyResult,
     MechanismReport,
-    SpurSweepPoint,
     VcoSpurSweepResult,
 )
 
@@ -299,51 +304,53 @@ class VcoImpactAnalysis:
 
     # -- Figure 8 -------------------------------------------------------------------------
 
-    def spur_sweep(self, vtune_values: tuple[float, ...] | None = None,
-                   noise_frequencies: np.ndarray | None = None
-                   ) -> VcoSpurSweepResult:
-        """Total spur power versus noise frequency for several tuning voltages."""
-        vtune_values = vtune_values or self.options.vtune_values
-        if noise_frequencies is None:
-            noise_frequencies = np.asarray(self.options.noise_frequencies)
-        noise_frequencies = np.asarray(noise_frequencies, dtype=float)
+    def spur_campaign(self, vtune_values: tuple[float, ...] | None = None,
+                      noise_frequencies: np.ndarray | None = None):
+        """The (V_tune x noise frequency) sweep as a declarative campaign.
 
-        spur_power: dict[float, np.ndarray] = {}
-        reference: dict[float, np.ndarray] = {}
-        comparisons = {}
-        carrier_frequencies = {}
-        carrier_amplitudes = {}
-        points: list[SpurSweepPoint] = []
-        for vtune in vtune_values:
-            results, vco, _catalog, _tf = self.analyze(vtune, noise_frequencies)
-            power = np.array([r.total_spur_power_dbm() for r in results])
-            spur_power[vtune] = power
-            # The paper does not tabulate absolute spur levels, so the
-            # reference curve is the ideal resistive-coupling + FM line
-            # (-20 dB/decade) anchored at the first simulated point; the
-            # comparison therefore measures how well the simulated sweep
-            # follows the mechanism the paper identifies.
-            decades = np.log10(noise_frequencies / noise_frequencies[0])
-            ref = float(power[0]) + measurements.FIG8_SLOPE_DB_PER_DECADE * decades
-            reference[vtune] = ref
-            comparisons[vtune] = compare_curves(noise_frequencies, ref,
-                                                noise_frequencies, power,
-                                                log_axis=True)
-            carrier_frequencies[vtune] = vco.oscillation_frequency(vtune)
-            carrier_amplitudes[vtune] = vco.amplitude(vtune)
-            for frequency, result in zip(noise_frequencies, results):
-                points.append(SpurSweepPoint(vtune=vtune,
-                                             noise_frequency=float(frequency),
-                                             spur=result))
-        return VcoSpurSweepResult(
-            noise_frequencies=noise_frequencies,
-            vtune_values=tuple(vtune_values),
-            spur_power_dbm=spur_power,
-            reference_dbm=reference,
-            comparisons=comparisons,
-            carrier_frequencies=carrier_frequencies,
-            carrier_amplitudes=carrier_amplitudes,
-            points=points)
+        The campaign reuses this analysis's already-extracted flow through a
+        seeded :class:`~repro.studies.cache.ExtractionCache` (the layout cell
+        hashes to the same content key), so running it performs zero
+        additional extractions on any backend.
+        """
+        from ..studies import Campaign, ParamSpace
+
+        vtune_values = tuple(vtune_values or self.options.vtune_values)
+        if noise_frequencies is None:
+            noise_frequencies = self.options.noise_frequencies
+        frequencies = tuple(
+            float(f) for f in np.asarray(noise_frequencies, dtype=float))
+        return Campaign(
+            name=f"{self.flow.cell.name}__spur_sweep",
+            space=ParamSpace({"vtune": vtune_values,
+                              "noise_frequency": frequencies}),
+            base_spec=self.spec,
+            options=self.options)
+
+    def spur_sweep(self, vtune_values: tuple[float, ...] | None = None,
+                   noise_frequencies: np.ndarray | None = None,
+                   backend=None, cache=None) -> VcoSpurSweepResult:
+        """Total spur power versus noise frequency for several tuning voltages.
+
+        Runs through the :mod:`repro.studies` sweep engine: ``backend``
+        selects serial or sharded execution (default
+        :class:`~repro.studies.backends.SerialBackend`) and ``cache`` an
+        extraction cache to share across studies (default: a fresh one,
+        seeded with this analysis's flow so nothing is re-extracted).  The
+        reference curve per V_tune is the ideal resistive-coupling + FM line
+        (-20 dB/decade) anchored at the first simulated point; the comparison
+        therefore measures how well the simulated sweep follows the mechanism
+        the paper identifies.
+        """
+        from ..studies import ExtractionCache, SweepRunner
+
+        campaign = self.spur_campaign(vtune_values, noise_frequencies)
+        if cache is None:
+            cache = ExtractionCache()
+        cache.seed(self.flow, options=self.options.flow)
+        runner = SweepRunner(self.technology, backend=backend, cache=cache)
+        return runner.run(campaign).to_vco_sweep_result(
+            measurements.FIG8_SLOPE_DB_PER_DECADE)
 
     # -- Figure 9 -------------------------------------------------------------------------
 
@@ -421,33 +428,45 @@ def ground_resistance_study(technology: ProcessTechnology,
                             spec: VcoLayoutSpec | None = None,
                             options: VcoExperimentOptions | None = None,
                             width_scale: float = 2.0,
-                            vtune: float = 0.0) -> DesignStudyResult:
-    """Figure 10: widen the ground interconnect and re-run the full flow."""
+                            vtune: float = 0.0,
+                            backend=None, cache=None) -> DesignStudyResult:
+    """Figure 10: widen the ground interconnect and re-run the full flow.
+
+    Implemented as a two-variant layout campaign on the :mod:`repro.studies`
+    engine (axis ``ground_width_scale``), so the nominal and widened layouts
+    are extracted through the shared cache — a repeated study against a warm
+    ``cache`` performs zero extractions — and the per-variant analyses can be
+    sharded with a parallel ``backend``.
+    """
+    from ..studies import Campaign, ParamSpace, SweepRunner
+
     spec = spec or VcoLayoutSpec()
     options = options or VcoExperimentOptions()
     if width_scale <= 0:
         raise AnalysisError("width scale must be positive")
 
-    nominal = VcoImpactAnalysis(technology, spec, options)
-    from dataclasses import replace
+    scales = (spec.ground_width_scale, spec.ground_width_scale * width_scale)
+    frequencies = tuple(float(f) for f in options.noise_frequencies)
+    campaign = Campaign(
+        name="fig10_ground_grid",
+        space=ParamSpace({"ground_width_scale": scales,
+                          "vtune": (vtune,),
+                          "noise_frequency": frequencies}),
+        base_spec=spec,
+        options=options)
+    runner = SweepRunner(technology, backend=backend, cache=cache)
+    sweep = runner.run(campaign)
 
-    improved_spec = replace(spec, ground_width_scale=spec.ground_width_scale * width_scale)
-    improved = VcoImpactAnalysis(technology, improved_spec, options)
-
-    frequencies = np.asarray(options.noise_frequencies)
-    nominal_results, _, _, _ = nominal.analyze(vtune, frequencies)
-    improved_results, _, _, _ = improved.analyze(vtune, frequencies)
-    nominal_dbm = np.array([r.total_spur_power_dbm() for r in nominal_results])
-    improved_dbm = np.array([r.total_spur_power_dbm() for r in improved_results])
-
-    r_nominal = nominal.flow.interconnect.resistance_between(NET_GROUND_RING,
-                                                             NET_GROUND_PAD)
-    r_improved = improved.flow.interconnect.resistance_between(NET_GROUND_RING,
-                                                               NET_GROUND_PAD)
+    nominal_dbm = np.array([r.spur_power_dbm for r in sweep.select(variant=0)])
+    improved_dbm = np.array([r.spur_power_dbm for r in sweep.select(variant=1)])
+    r_nominal = sweep.variants[0].flow.interconnect.resistance_between(
+        NET_GROUND_RING, NET_GROUND_PAD)
+    r_improved = sweep.variants[1].flow.interconnect.resistance_between(
+        NET_GROUND_RING, NET_GROUND_PAD)
     reduction = float(np.mean(nominal_dbm - improved_dbm))
     ideal = 20.0 * math.log10(r_nominal / r_improved) if r_improved > 0 else 0.0
     return DesignStudyResult(
-        noise_frequencies=frequencies,
+        noise_frequencies=np.asarray(frequencies),
         nominal_dbm=nominal_dbm,
         improved_dbm=improved_dbm,
         nominal_ground_resistance=r_nominal,

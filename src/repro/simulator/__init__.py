@@ -11,7 +11,12 @@ from .solver import (
 )
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .ac import AcSolution, ac_analysis
-from .transfer import TransferFunction, transfer_function
+from .transfer import (
+    TransferFunction,
+    substituted_sources,
+    transfer_function,
+    transfer_functions,
+)
 from .transient import TransientOptions, TransientSolution, transient_analysis
 
 __all__ = [
@@ -34,6 +39,8 @@ __all__ = [
     "solve_sparse",
     "solver_stats",
     "stamp_linear_elements",
+    "substituted_sources",
     "transfer_function",
+    "transfer_functions",
     "transient_analysis",
 ]

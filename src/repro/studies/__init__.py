@@ -1,0 +1,65 @@
+"""Design-study sweep engine: declarative spur campaigns over the test chips.
+
+The paper's end product is a design study — spur power swept over noise
+frequency, V_tune and ground-grid layout variants (Figures 8-10).  This
+package turns such studies into declarative campaigns executed by one engine:
+
+* :mod:`repro.studies.params` — :class:`ParamSpace` / :class:`Campaign`
+  grid specs over simulation, layout and mesh axes,
+* :mod:`repro.studies.cache` — a content-addressed
+  :class:`ExtractionCache` keyed by (layout cell, mesh spec, technology)
+  with hit/miss counters,
+* :mod:`repro.studies.backends` — :class:`SerialBackend` and the sharded
+  :class:`ProcessPoolBackend` behind one protocol,
+* :mod:`repro.studies.runner` — the :class:`SweepRunner` orchestrating
+  extraction reuse and task fan-out,
+* :mod:`repro.studies.results` — the tidy :class:`SweepResult` store with
+  worst-corner and spur-vs-frequency queries.
+
+Quickstart (see ``examples/spur_campaign.py`` for the narrated version)::
+
+    from repro.studies import Campaign, ParamSpace, ProcessPoolBackend, SweepRunner
+    from repro.technology import make_technology
+
+    campaign = Campaign(
+        name="vtune_x_fnoise",
+        space=ParamSpace({"vtune": (0.0, 0.75, 1.5),
+                          "noise_frequency": (1e6, 5e6, 10e6)}))
+    runner = SweepRunner(make_technology(), backend=ProcessPoolBackend(2))
+    result = runner.run(campaign)
+    print(result.summary(), result.worst_spur().row())
+"""
+
+from .backends import ProcessPoolBackend, SerialBackend, SweepBackend
+from .cache import CacheStats, ExtractionCache, extraction_key, fingerprint
+from .params import (
+    AXIS_INJECTED_POWER,
+    AXIS_NOISE_FREQUENCY,
+    AXIS_VTUNE,
+    Campaign,
+    LayoutVariant,
+    ParamSpace,
+)
+from .results import PointRecord, SweepResult, VariantRecord
+from .runner import SweepRunner, SweepTask
+
+__all__ = [
+    "AXIS_INJECTED_POWER",
+    "AXIS_NOISE_FREQUENCY",
+    "AXIS_VTUNE",
+    "CacheStats",
+    "Campaign",
+    "ExtractionCache",
+    "LayoutVariant",
+    "ParamSpace",
+    "PointRecord",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepBackend",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "VariantRecord",
+    "extraction_key",
+    "fingerprint",
+]

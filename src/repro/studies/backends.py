@@ -1,0 +1,84 @@
+"""Execution backends of the sweep engine.
+
+A campaign resolves into an ordered list of independent *tasks* (one spur
+analysis per layout variant / amplitude / V_tune combination).  Backends only
+decide *where* those tasks run:
+
+* :class:`SerialBackend` — in-process, in order; the reference for numerical
+  equivalence and the best choice for tiny campaigns (no pickling, shares the
+  parent's memory).
+* :class:`ProcessPoolBackend` — shards tasks across worker processes with
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Tasks are independent
+  (each carries its own extracted flow and builds its own testbench), so the
+  sharding is embarrassingly parallel; results are reassembled in task order,
+  which keeps the output bit-identical to the serial backend.
+
+Both implement the same two-method protocol (``run`` plus a ``describe`` for
+benchmarks), so runners and benchmarks treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Protocol, Sequence, TypeVar
+
+from ..errors import AnalysisError
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+class SweepBackend(Protocol):
+    """Executes an ordered list of independent tasks."""
+
+    def run(self, fn: Callable[[TaskT], ResultT],
+            tasks: Sequence[TaskT]) -> list[ResultT]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        ...
+
+    def describe(self) -> str:
+        """Short label for reports / benchmark records."""
+        ...
+
+
+class SerialBackend:
+    """Run every task in the calling process, in order."""
+
+    def run(self, fn: Callable[[TaskT], ResultT],
+            tasks: Sequence[TaskT]) -> list[ResultT]:
+        return [fn(task) for task in tasks]
+
+    def describe(self) -> str:
+        return "serial"
+
+
+class ProcessPoolBackend:
+    """Shard tasks across worker processes.
+
+    ``fn`` and every task must be picklable (the runner's task payloads are
+    plain dataclasses of arrays and model objects).  Worker failures are not
+    swallowed: the first task exception is re-raised in the parent once all
+    submitted futures have settled, so a failing corner of a campaign fails
+    the campaign.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise AnalysisError("ProcessPoolBackend needs at least one worker")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+
+    def run(self, fn: Callable[[TaskT], ResultT],
+            tasks: Sequence[TaskT]) -> list[ResultT]:
+        if not tasks:
+            return []
+        # A pool larger than the task list would only spawn idle workers.
+        n_workers = min(self.max_workers, len(tasks))
+        if n_workers == 1:
+            return [fn(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(fn, task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def describe(self) -> str:
+        return f"process-pool[{self.max_workers}]"

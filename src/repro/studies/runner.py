@@ -1,0 +1,217 @@
+"""The sweep runner: campaign resolution, extraction reuse and task fan-out.
+
+``SweepRunner`` turns a declarative :class:`~repro.studies.params.Campaign`
+into a :class:`~repro.studies.results.SweepResult`:
+
+1. resolve the campaign's layout/mesh axes into variants and obtain one
+   extracted :class:`~repro.core.flow.FlowResult` per variant through the
+   :class:`~repro.studies.cache.ExtractionCache` (layout-invariant sweeps hit
+   the cache after the first run; layout sweeps re-extract only the changed
+   variants),
+2. build one :class:`SweepTask` per (variant, injected power, V_tune) —
+   each task analyses all noise frequencies of the campaign in one AC sweep,
+   which is the natural unit of work (one DC solve + one transfer function),
+3. execute the tasks on the configured backend (serial or sharded across
+   processes) and reassemble the per-point records *in task order*, so the
+   result is numerically identical whichever backend ran it.
+
+``_execute_task`` is a module-level function with picklable payloads, which
+is what lets :class:`~repro.studies.backends.ProcessPoolBackend` ship tasks
+to worker processes; the extracted flow rides along in the task (a few tens
+of kilobytes), so workers never re-extract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.flow import FlowOptions, FlowResult, run_extraction_flow
+from ..layout.cell import Cell
+from ..technology.process import ProcessTechnology
+from .backends import SerialBackend, SweepBackend
+from .cache import ExtractionCache
+from .params import Campaign, LayoutVariant
+from .results import PointRecord, SweepResult, VariantRecord
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of work: a spur analysis over all noise
+    frequencies at a fixed (variant, injected power, V_tune) corner."""
+
+    index: int
+    variant_index: int
+    knobs: dict[str, float]
+    technology: ProcessTechnology
+    spec: "VcoLayoutSpec"                  #: layout spec of the variant
+    options: "VcoExperimentOptions"        #: options with this task's power
+    injected_power_dbm: float
+    vtune: float
+    noise_frequencies: tuple[float, ...]
+    flow: FlowResult                       #: pre-extracted models of the variant
+    first_point_index: int                 #: global index of the first point
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Per-point records produced by one task, tagged with the task index."""
+
+    index: int
+    records: tuple[PointRecord, ...]
+
+
+@dataclass(frozen=True)
+class ExtractionTask:
+    """One cache-missing variant to extract (worker-shippable payload)."""
+
+    variant_index: int
+    cell: Cell
+    technology: ProcessTechnology
+    flow_options: FlowOptions
+
+
+def _execute_extraction(task: ExtractionTask) -> FlowResult:
+    """Extract one variant (worker-side entry point; must stay picklable)."""
+    return run_extraction_flow(task.cell, task.technology,
+                               options=task.flow_options)
+
+
+def _execute_task(task: SweepTask) -> TaskOutcome:
+    """Run one task (worker-side entry point; must stay picklable)."""
+    # Local import: repro.core.vco_experiment uses the studies package for its
+    # own sweeps, so the dependency must not be circular at import time.
+    from ..core.vco_experiment import VcoImpactAnalysis
+
+    analysis = VcoImpactAnalysis(task.technology, spec=task.spec,
+                                 options=task.options, flow_result=task.flow)
+    spur_results, _vco, _catalog, _tf = analysis.analyze(
+        task.vtune, np.asarray(task.noise_frequencies, dtype=float))
+    records = tuple(
+        PointRecord(point_index=task.first_point_index + offset,
+                    variant_index=task.variant_index,
+                    knobs=dict(task.knobs),
+                    injected_power_dbm=task.injected_power_dbm,
+                    vtune=task.vtune,
+                    noise_frequency=float(frequency),
+                    spur=spur)
+        for offset, (frequency, spur)
+        in enumerate(zip(task.noise_frequencies, spur_results)))
+    return TaskOutcome(index=task.index, records=records)
+
+
+class SweepRunner:
+    """Runs campaigns against a backend and an extraction cache.
+
+    One runner can execute many campaigns; sharing its cache across campaigns
+    is how a design session avoids re-extracting layouts it has already seen
+    (the counters on ``runner.cache.stats`` record the traffic).
+    """
+
+    def __init__(self, technology: ProcessTechnology,
+                 backend: SweepBackend | None = None,
+                 cache: ExtractionCache | None = None):
+        self.technology = technology
+        self.backend = SerialBackend() if backend is None else backend
+        # Explicit None check: an empty cache is falsy (it has __len__).
+        self.cache = ExtractionCache() if cache is None else cache
+
+    # -- extraction ----------------------------------------------------------
+
+    def _extract_variants(self, campaign: Campaign,
+                          variants: list[LayoutVariant]) -> list[VariantRecord]:
+        """Resolve every variant to a flow, extracting cache misses in bulk.
+
+        The misses are fanned out through the campaign backend: on a cold
+        layout sweep with a process-pool backend, the per-variant extractions
+        (the expensive half of a study) run in parallel, not just the
+        simulations.
+        """
+        keys: list[str] = []
+        resolved: dict[str, FlowResult] = {}
+        hits: set[str] = set()
+        pending: dict[str, ExtractionTask] = {}   # key -> task, deduplicated
+        for variant in variants:
+            cell = campaign.build_cell(variant)
+            key = self.cache.key(cell, self.technology, variant.flow_options)
+            keys.append(key)
+            if key in resolved or key in pending:
+                continue                          # duplicate content, no traffic
+            flow = self.cache.lookup(key)
+            if flow is not None:
+                resolved[key] = flow
+                hits.add(key)
+            else:
+                pending[key] = ExtractionTask(
+                    variant_index=variant.index, cell=cell,
+                    technology=self.technology,
+                    flow_options=variant.flow_options)
+        tasks = list(pending.values())
+        for key, flow in zip(pending, self.backend.run(_execute_extraction,
+                                                       tasks)):
+            self.cache.store(key, flow)
+            resolved[key] = flow
+        return [VariantRecord(index=variant.index,
+                              knobs=dict(variant.knobs),
+                              spec=variant.spec,
+                              cache_key=key,
+                              flow=resolved[key],
+                              from_cache=key in hits)
+                for variant, key in zip(variants, keys)]
+
+    # -- task fan-out --------------------------------------------------------
+
+    def _build_tasks(self, campaign: Campaign,
+                     variants: list[LayoutVariant],
+                     extracted: list[VariantRecord]) -> list[SweepTask]:
+        powers, vtunes, frequencies = campaign.sim_grid()
+        tasks: list[SweepTask] = []
+        point_index = 0
+        for variant, record in zip(variants, extracted):
+            for power in powers:
+                options = replace(campaign.options,
+                                  injected_power_dbm=power,
+                                  flow=variant.flow_options)
+                for vtune in vtunes:
+                    tasks.append(SweepTask(
+                        index=len(tasks),
+                        variant_index=variant.index,
+                        knobs=dict(variant.knobs),
+                        technology=self.technology,
+                        spec=variant.spec,
+                        options=options,
+                        injected_power_dbm=power,
+                        vtune=vtune,
+                        noise_frequencies=frequencies,
+                        flow=record.flow,
+                        first_point_index=point_index))
+                    point_index += len(frequencies)
+        return tasks
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, campaign: Campaign) -> SweepResult:
+        """Execute the campaign and aggregate its tidy result."""
+        start = time.perf_counter()
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+
+        variants = campaign.variants()
+        extracted = self._extract_variants(campaign, variants)
+        tasks = self._build_tasks(campaign, variants, extracted)
+        outcomes = self.backend.run(_execute_task, tasks)
+
+        records: list[PointRecord] = []
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            records.extend(outcome.records)
+        return SweepResult(
+            campaign_name=campaign.name,
+            backend_name=self.backend.describe(),
+            axes=campaign.resolved_axes(),
+            records=records,
+            variants=extracted,
+            wall_seconds=time.perf_counter() - start,
+            cache_hits=self.cache.hits - hits_before,
+            cache_misses=self.cache.misses - misses_before)

@@ -93,6 +93,23 @@ class SpurResult:
                    else self.lower_sideband_voltage)
         return float(vpeak_to_dbm(max(voltage, 1e-15), impedance))
 
+    def record(self, impedance: float = 50.0) -> dict[str, float]:
+        """Flat tidy row of this analysis point (for sweep-result stores)."""
+        row = {
+            "noise_frequency": self.noise_frequency,
+            "carrier_frequency": self.carrier_frequency,
+            "carrier_amplitude": self.carrier_amplitude,
+            "spur_power_dbm": self.total_spur_power_dbm(impedance),
+            "lower_sideband_dbm": self.sideband_power_dbm("lower", impedance),
+            "upper_sideband_dbm": self.sideband_power_dbm("upper", impedance),
+            "fm_voltage": self.fm_voltage,
+            "am_voltage": self.am_voltage,
+        }
+        for entry in self.entries:
+            row[f"entry:{entry.name}_dbm"] = self.entry_power_dbm(
+                entry.name, impedance)
+        return row
+
     def entry_power_dbm(self, name: str, impedance: float = 50.0) -> float:
         """Total spur power (both sidebands) of a single entry in dBm."""
         v_fm = self.per_entry_fm_voltage[name]
