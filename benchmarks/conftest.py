@@ -9,7 +9,6 @@ representative piece of the computation.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.nmos import NmosExperimentOptions, run_nmos_experiment

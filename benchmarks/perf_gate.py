@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Gate performance regressions against a committed baseline snapshot.
+
+Runs the same sections as ``run_bench.py``, compares every wall-clock metric
+(keys ending in ``_seconds``) against ``BENCH_baseline.json`` and fails when
+any section regresses by more than the threshold:
+
+    python benchmarks/perf_gate.py [--baseline BENCH_baseline.json]
+                                   [--threshold 2.5] [--min-delta 0.05]
+                                   [--section flow --section sweep ...]
+                                   [--current current.json]
+
+A metric counts as regressed only when *both* the ratio exceeds the
+threshold *and* the absolute slowdown exceeds ``--min-delta`` seconds — CI
+runners jitter hard on sub-50 ms timings, and a 3x regression of a 5 ms
+stage is noise, not a finding.  The default 2.5x threshold is deliberately
+loose for the same reason; genuine algorithmic regressions (the kind PR 1
+fixed, 33x) clear it with room to spare.
+
+The comparison is printed as a markdown table and, when running under
+GitHub Actions (``GITHUB_STEP_SUMMARY`` set), appended to the job summary.
+Exit status: 0 when no metric regresses, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import run_bench  # noqa: E402
+
+
+def flatten_seconds(snapshot: dict, prefix: str = "") -> dict[str, float]:
+    """All ``*_seconds`` metrics of a snapshot as ``section.metric`` keys."""
+    metrics: dict[str, float] = {}
+    for key, value in snapshot.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            metrics.update(flatten_seconds(value, prefix=f"{path}."))
+        elif key.endswith("_seconds") and isinstance(value, (int, float)):
+            metrics[path] = float(value)
+    return metrics
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float, min_delta: float) -> tuple[list[dict], bool]:
+    """Row-per-metric delta table; second return is "any regression"."""
+    rows = []
+    regressed = False
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        now = current.get(name)
+        if base is None or now is None:
+            rows.append({"metric": name, "baseline": base, "current": now,
+                         "ratio": None,
+                         "status": "new" if base is None else "removed"})
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        bad = ratio > threshold and (now - base) > min_delta
+        regressed = regressed or bad
+        rows.append({"metric": name, "baseline": base, "current": now,
+                     "ratio": ratio, "status": "REGRESSED" if bad else "ok"})
+    return rows, regressed
+
+
+def markdown_table(rows: list[dict], threshold: float) -> str:
+    def fmt(value, pattern="{:.3f}"):
+        return pattern.format(value) if value is not None else "-"
+
+    lines = [
+        f"### Perf gate (fail ratio > {threshold:g}x)",
+        "",
+        "| metric | baseline [s] | current [s] | ratio | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        status = {"ok": "✅ ok", "REGRESSED": "❌ regressed",
+                  "new": "🆕 new", "removed": "⚠️ removed"}[row["status"]]
+        lines.append(
+            f"| `{row['metric']}` | {fmt(row['baseline'])} "
+            f"| {fmt(row['current'])} | {fmt(row['ratio'], '{:.2f}x')} "
+            f"| {status} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_baseline.json",
+                        help="committed baseline snapshot to compare against")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="reuse an existing snapshot instead of running "
+                             "the benchmarks")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the freshly-measured snapshot here")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="fail when current/baseline exceeds this ratio "
+                             "(default: 2.5)")
+    parser.add_argument("--min-delta", type=float, default=0.05,
+                        help="ignore regressions smaller than this many "
+                             "seconds in absolute terms (CI jitter floor)")
+    parser.add_argument("--section", choices=sorted(run_bench.SECTIONS),
+                        action="append", default=None,
+                        help="gate only the named section(s); repeatable")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"perf-gate: baseline {args.baseline} does not exist; "
+              "generate it with benchmarks/run_bench.py --output "
+              "BENCH_baseline.json", file=sys.stderr)
+        return 1
+    baseline_snapshot = json.loads(args.baseline.read_text())
+
+    sections = args.section or sorted(run_bench.SECTIONS)
+    if args.current is not None:
+        current_snapshot = json.loads(args.current.read_text())
+    else:
+        current_snapshot = {name: run_bench.SECTIONS[name]()
+                            for name in sections}
+    if args.output is not None:
+        args.output.write_text(json.dumps(current_snapshot, indent=2) + "\n")
+
+    baseline_metrics = flatten_seconds(
+        {name: baseline_snapshot[name] for name in sections
+         if name in baseline_snapshot})
+    current_metrics = flatten_seconds(
+        {name: current_snapshot[name] for name in sections
+         if name in current_snapshot})
+
+    rows, regressed = compare(baseline_metrics, current_metrics,
+                              args.threshold, args.min_delta)
+    table = markdown_table(rows, args.threshold)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(table + "\n")
+
+    if regressed:
+        worst = max((row for row in rows if row["status"] == "REGRESSED"),
+                    key=lambda row: row["ratio"])
+        print(f"perf-gate: FAILED — {worst['metric']} regressed "
+              f"{worst['ratio']:.2f}x "
+              f"({worst['baseline']:.3f}s -> {worst['current']:.3f}s)",
+              file=sys.stderr)
+        return 1
+    print("perf-gate: ok — no metric regressed beyond "
+          f"{args.threshold:g}x (+{args.min_delta:g}s jitter floor)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

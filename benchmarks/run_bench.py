@@ -58,6 +58,7 @@ def _bench_flow() -> dict:
 
     return {
         "extraction_seconds": extraction_seconds,
+        "total_seconds": extraction_seconds + simulation_seconds,
         "extraction_breakdown": {
             "substrate": flow.timings.substrate_extraction,
             "interconnect": flow.timings.interconnect_extraction,
@@ -80,9 +81,12 @@ def _bench_solver_micro() -> dict:
 
 def _bench_sweep() -> dict:
     """Design-study sweep: serial vs sharded, cold vs warm extraction cache."""
+    import tempfile
+
     from repro.core.flow import FlowOptions
     from repro.studies import (
         Campaign,
+        DiskExtractionCache,
         ExtractionCache,
         ParamSpace,
         ProcessPoolBackend,
@@ -130,6 +134,21 @@ def _bench_sweep() -> dict:
     sharded_result = sharded.run(campaign)
     sharded_warm_seconds = time.perf_counter() - start
 
+    # Disk-backed cache: populate a persistent store, then warm-start a
+    # *fresh* cache instance from it (models a new process / CI run).
+    with tempfile.TemporaryDirectory() as cache_dir:
+        disk_writer = SweepRunner(technology, backend=SerialBackend(),
+                                  cache=DiskExtractionCache(cache_dir))
+        start = time.perf_counter()
+        disk_writer.run(campaign)
+        disk_cold_seconds = time.perf_counter() - start
+
+        disk_reader = SweepRunner(technology, backend=SerialBackend(),
+                                  cache=DiskExtractionCache(cache_dir))
+        start = time.perf_counter()
+        disk_warm = disk_reader.run(campaign)
+        disk_warm_seconds = time.perf_counter() - start
+
     max_difference = float(np.max(np.abs(
         cold.column("spur_power_dbm") - sharded_result.column("spur_power_dbm"))))
     return {
@@ -139,8 +158,11 @@ def _bench_sweep() -> dict:
         "serial_warm_seconds": serial_warm_seconds,
         "sharded_2workers_cold_seconds": sharded_cold_seconds,
         "sharded_2workers_warm_seconds": sharded_warm_seconds,
+        "disk_cold_seconds": disk_cold_seconds,
+        "disk_warm_fresh_process_seconds": disk_warm_seconds,
         "cold_extractions": cold.cache_misses,
         "warm_extractions": warm.cache_misses,
+        "disk_warm_extractions": disk_warm.cache_misses,
         "sharded_cold_extractions": sharded_cold.cache_misses,
         "sharded_warm_extractions": sharded_result.cache_misses,
         "cache_totals": {"hits": cache.hits, "misses": cache.misses},
@@ -188,10 +210,6 @@ def main(argv: list[str] | None = None) -> int:
     }
     for name in sections:
         snapshot[name] = SECTIONS[name]()
-    if "flow" in snapshot:
-        snapshot["flow"]["total_seconds"] = (
-            snapshot["flow"]["extraction_seconds"]
-            + snapshot["flow"]["simulation_seconds"])
 
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {args.output}")

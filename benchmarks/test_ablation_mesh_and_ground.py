@@ -8,7 +8,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.flow import FlowOptions
 from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis

@@ -10,7 +10,6 @@ and times one transfer-point evaluation.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.nmos import NmosExperimentOptions, run_nmos_experiment
 from repro.data import measurements

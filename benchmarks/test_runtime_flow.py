@@ -7,10 +7,9 @@ current hardware.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.flow import run_extraction_flow
-from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis
+from repro.core.vco_experiment import VcoImpactAnalysis
 from repro.layout.testchips import make_vco_testchip
 
 from _report import NOISE_FREQUENCIES, print_table

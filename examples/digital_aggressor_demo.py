@@ -31,7 +31,6 @@ from repro.layout.testchips import (
     backgate_node,
     make_nmos_measurement_structure,
 )
-from repro.netlist.elements import SourceValue
 from repro.package.model import PackageModel
 from repro.simulator import transient_analysis
 from repro.substrate import SubstrateExtractionOptions

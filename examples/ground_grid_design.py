@@ -9,6 +9,8 @@ interconnect".
 Both studies run on the :mod:`repro.studies` sweep engine: the Figure-10
 study is a two-variant layout campaign, and the width sweep a four-variant
 campaign whose extractions are shared through one content-addressed cache.
+The cache persists under ``.repro-cache/``, so a second run of this script
+(and any ``repro-campaign`` run over the same layouts) extracts nothing.
 
 Run with::
 
@@ -22,7 +24,7 @@ import numpy as np
 from repro.core.flow import FlowOptions
 from repro.core.vco_experiment import VcoExperimentOptions, ground_resistance_study
 from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING
-from repro.studies import Campaign, ExtractionCache, ParamSpace, SweepRunner
+from repro.studies import Campaign, DiskExtractionCache, ParamSpace, SweepRunner
 from repro.substrate import SubstrateExtractionOptions
 from repro.technology import make_technology
 
@@ -32,7 +34,7 @@ def main() -> None:
     frequencies = tuple(float(f) for f in np.logspace(5, np.log10(15e6), 6))
     options = VcoExperimentOptions(vtune_values=(0.0,),
                                    noise_frequencies=frequencies)
-    cache = ExtractionCache()
+    cache = DiskExtractionCache(".repro-cache")
 
     # --- Figure 10: nominal layout versus doubled ground-wire width ------------
     study = ground_resistance_study(technology, options=options,

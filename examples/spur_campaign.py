@@ -9,6 +9,13 @@ width, then runs it three ways to show the engine's two scaling levers:
 3. sharded across worker processes, which must produce numerically identical
    results to the serial run.
 
+The cache is a :class:`~repro.studies.store.DiskExtractionCache` persisted
+under ``.repro-cache/`` and the final result is saved to
+``spur_campaign_result.npz`` — re-running this script (or any other process
+sweeping the same layouts, e.g. ``repro-campaign run``) therefore starts with
+zero extractions, and the saved result can be reloaded with
+``SweepResult.load`` or inspected with ``repro-campaign show``.
+
 Run with::
 
     python examples/spur_campaign.py
@@ -17,6 +24,7 @@ Run with::
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,7 +32,7 @@ from repro.core.flow import FlowOptions
 from repro.core.vco_experiment import VcoExperimentOptions
 from repro.studies import (
     Campaign,
-    ExtractionCache,
+    DiskExtractionCache,
     ParamSpace,
     ProcessPoolBackend,
     SerialBackend,
@@ -32,6 +40,9 @@ from repro.studies import (
 )
 from repro.substrate import SubstrateExtractionOptions
 from repro.technology import make_technology
+
+CACHE_DIR = Path(".repro-cache")
+RESULT_PATH = Path("spur_campaign_result.npz")
 
 
 def main() -> None:
@@ -53,13 +64,14 @@ def main() -> None:
     print(f"campaign {campaign.name!r}: {campaign.n_points} grid points, "
           f"{len(campaign.variants())} layout variants")
 
-    # --- 1. serial, cold cache ------------------------------------------------
-    cache = ExtractionCache()
+    # --- 1. serial, disk-backed cache (cold only on the very first run) --------
+    cache = DiskExtractionCache(CACHE_DIR)
     runner = SweepRunner(technology, backend=SerialBackend(), cache=cache)
     start = time.perf_counter()
     cold = runner.run(campaign)
-    print(f"\nserial cold : {time.perf_counter() - start:6.2f} s  "
-          f"(extractions={cold.cache_misses}, hits={cold.cache_hits})")
+    print(f"\nserial      : {time.perf_counter() - start:6.2f} s  "
+          f"(extractions={cold.cache_misses}, hits={cold.cache_hits}; "
+          f"persistent cache in {CACHE_DIR}/)")
 
     # --- 2. serial, warm cache ------------------------------------------------
     start = time.perf_counter()
@@ -91,6 +103,11 @@ def main() -> None:
     for f, p in zip(frequencies, spur):
         print(f"  {f / 1e6:8.3f} MHz   {p:7.1f} dBm")
     print("\ncache totals:", cache.stats)
+
+    # --- persist the result ------------------------------------------------------
+    npz_path, meta_path = cold.save(RESULT_PATH)
+    print(f"result saved to {npz_path} (+ {meta_path.name}); inspect it with "
+          f"'repro-campaign show {npz_path}'")
 
 
 if __name__ == "__main__":

@@ -19,4 +19,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.studies.cli:main",
+        ],
+    },
 )

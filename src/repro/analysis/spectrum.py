@@ -8,7 +8,6 @@ amplitude ``A`` reads ``A^2 / (2 * R)`` watts, plus peak/spur search helpers.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

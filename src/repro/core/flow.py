@@ -20,7 +20,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..errors import ExtractionError
 from ..extraction.circuit_extractor import ExtractedCircuit, extract_circuit
 from ..extraction.merge import ImpactNetlist, merge_models
 from ..interconnect.extraction import InterconnectExtraction, extract_interconnect

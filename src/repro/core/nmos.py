@@ -35,7 +35,6 @@ from ..layout.testchips import (
     backgate_node,
     make_nmos_measurement_structure,
 )
-from ..netlist.elements import SourceValue
 from ..package.model import PackageModel
 from ..simulator.dc import dc_operating_point
 from ..simulator.transfer import transfer_function

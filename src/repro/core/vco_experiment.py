@@ -48,7 +48,6 @@ from ..layout.testchips import (
     NET_OUT,
     NET_SUB,
     NET_SUPPLY,
-    NET_TAIL,
     NET_TANK_N,
     NET_TANK_P,
     NET_TUNE,
@@ -62,11 +61,7 @@ from ..simulator.transfer import TransferFunction, transfer_function
 from ..technology.process import ProcessTechnology
 from ..vco.lctank import LcTankVco, VcoDesign
 from ..vco.sensitivity import (
-    ENTRY_GROUND,
-    ENTRY_INDUCTOR,
     ENTRY_NMOS,
-    ENTRY_PMOS_WELL,
-    ENTRY_VARACTOR_WELL,
     VcoEntryCatalog,
     build_entry_catalog,
     entries_at_frequency,
@@ -329,24 +324,27 @@ class VcoImpactAnalysis:
 
     def spur_sweep(self, vtune_values: tuple[float, ...] | None = None,
                    noise_frequencies: np.ndarray | None = None,
-                   backend=None, cache=None) -> VcoSpurSweepResult:
+                   backend=None, cache=None,
+                   cache_dir=None) -> VcoSpurSweepResult:
         """Total spur power versus noise frequency for several tuning voltages.
 
         Runs through the :mod:`repro.studies` sweep engine: ``backend``
         selects serial or sharded execution (default
         :class:`~repro.studies.backends.SerialBackend`) and ``cache`` an
         extraction cache to share across studies (default: a fresh one,
-        seeded with this analysis's flow so nothing is re-extracted).  The
+        seeded with this analysis's flow so nothing is re-extracted).
+        ``cache_dir`` instead builds a persistent
+        :class:`~repro.studies.store.DiskExtractionCache` under that
+        directory, so repeated sweeps warm-start across processes.  The
         reference curve per V_tune is the ideal resistive-coupling + FM line
         (-20 dB/decade) anchored at the first simulated point; the comparison
         therefore measures how well the simulated sweep follows the mechanism
         the paper identifies.
         """
-        from ..studies import ExtractionCache, SweepRunner
+        from ..studies import SweepRunner
 
         campaign = self.spur_campaign(vtune_values, noise_frequencies)
-        if cache is None:
-            cache = ExtractionCache()
+        cache = _resolve_cache(cache, cache_dir)
         cache.seed(self.flow, options=self.options.flow)
         runner = SweepRunner(self.technology, backend=backend, cache=cache)
         return runner.run(campaign).to_vco_sweep_result(
@@ -414,6 +412,24 @@ class VcoImpactAnalysis:
         return spectrum, spur
 
 
+def _resolve_cache(cache, cache_dir):
+    """Resolve the ``cache=`` / ``cache_dir=`` pair of the study entry points.
+
+    ``cache`` is any extraction-cache instance to share across studies;
+    ``cache_dir`` builds a persistent on-disk cache under the directory.
+    Passing both is ambiguous and rejected.
+    """
+    from ..studies import DiskExtractionCache, ExtractionCache
+
+    if cache is not None and cache_dir is not None:
+        raise AnalysisError(
+            "pass either cache= (an existing cache instance) or cache_dir= "
+            "(a directory for a DiskExtractionCache), not both")
+    if cache_dir is not None:
+        return DiskExtractionCache(cache_dir)
+    return cache if cache is not None else ExtractionCache()
+
+
 def mechanism_report(contribution: ContributionResult) -> MechanismReport:
     """Section-5 classification of the dominant coupling / modulation mechanism."""
     dominant = contribution.dominant_entry()
@@ -429,14 +445,16 @@ def ground_resistance_study(technology: ProcessTechnology,
                             options: VcoExperimentOptions | None = None,
                             width_scale: float = 2.0,
                             vtune: float = 0.0,
-                            backend=None, cache=None) -> DesignStudyResult:
+                            backend=None, cache=None,
+                            cache_dir=None) -> DesignStudyResult:
     """Figure 10: widen the ground interconnect and re-run the full flow.
 
     Implemented as a two-variant layout campaign on the :mod:`repro.studies`
     engine (axis ``ground_width_scale``), so the nominal and widened layouts
     are extracted through the shared cache — a repeated study against a warm
-    ``cache`` performs zero extractions — and the per-variant analyses can be
-    sharded with a parallel ``backend``.
+    ``cache`` (or a ``cache_dir`` populated by any earlier process) performs
+    zero extractions — and the per-variant analyses can be sharded with a
+    parallel ``backend``.
     """
     from ..studies import Campaign, ParamSpace, SweepRunner
 
@@ -444,6 +462,7 @@ def ground_resistance_study(technology: ProcessTechnology,
     options = options or VcoExperimentOptions()
     if width_scale <= 0:
         raise AnalysisError("width scale must be positive")
+    cache = _resolve_cache(cache, cache_dir)
 
     scales = (spec.ground_width_scale, spec.ground_width_scale * width_scale)
     frequencies = tuple(float(f) for f in options.noise_frequencies)

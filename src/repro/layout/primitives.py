@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..errors import LayoutError
 from .cell import Cell, DeviceAnnotation
-from .geometry import Path, Point, Rect
+from .geometry import Path, Rect
 
 
 def draw_wire(cell: Cell, layer: str, points: list[tuple[float, float]],

@@ -9,7 +9,7 @@ global ground reference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import networkx as nx
 

@@ -12,10 +12,10 @@ linear contribution; instead the simulator asks it for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
-from ..devices.mosfet import MosfetGeometry, MosfetModel, MosfetOperatingPoint
+from ..devices.mosfet import MosfetModel, MosfetOperatingPoint
 from ..devices.varactor import AccumulationModeVaractor
 from ..errors import NetlistError
 from .elements import Element

@@ -11,8 +11,8 @@ mapped onto the parent's nets.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 from ..errors import NetlistError
 from .circuit import Circuit

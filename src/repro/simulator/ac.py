@@ -17,10 +17,9 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..netlist.circuit import Circuit
-from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
-from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .mna import MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
 from .solver import SharedPatternPair, add_gmin_diagonal
 
 

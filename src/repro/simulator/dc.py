@@ -13,8 +13,7 @@ initial guess.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -88,7 +87,6 @@ def _newton_solve(circuit: Circuit, structure: MnaStructure,
                   initial: np.ndarray, source_scale: float) -> tuple[np.ndarray, int]:
     """Newton iteration at a fixed source scaling; returns (solution, iterations)."""
     x = initial.copy()
-    view = SolutionView(structure, x)
     nonlinear = circuit.nonlinear_elements()
     n_nodes = structure.n_nodes
 

@@ -23,8 +23,7 @@ values they need (DC levels, AC phasors, transient samples) and solve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

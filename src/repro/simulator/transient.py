@@ -25,14 +25,12 @@ promises for "all the nodes within the circuit".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal
+from typing import Literal
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..errors import ConvergenceError, SimulationError
 from ..netlist.circuit import Circuit
-from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .mna import MatrixStamper, MnaStructure, solve_sparse, stamp_linear_elements

@@ -9,12 +9,19 @@ package turns such studies into declarative campaigns executed by one engine:
 * :mod:`repro.studies.cache` — a content-addressed
   :class:`ExtractionCache` keyed by (layout cell, mesh spec, technology)
   with hit/miss counters,
+* :mod:`repro.studies.store` — the persistent :class:`DiskExtractionCache`
+  (same protocol, entries survive the process; atomic, versioned,
+  corruption-tolerant),
 * :mod:`repro.studies.backends` — :class:`SerialBackend` and the sharded
-  :class:`ProcessPoolBackend` behind one protocol,
+  :class:`ProcessPoolBackend` (task-level retries) behind one protocol,
 * :mod:`repro.studies.runner` — the :class:`SweepRunner` orchestrating
-  extraction reuse and task fan-out,
+  extraction reuse, task fan-out and corner-level resume,
 * :mod:`repro.studies.results` — the tidy :class:`SweepResult` store with
-  worst-corner and spur-vs-frequency queries.
+  worst-corner and spur-vs-frequency queries plus ``save``/``load``/
+  ``merge`` persistence (NPZ + JSON metadata sidecar),
+* :mod:`repro.studies.cli` — the ``repro-campaign`` command line
+  (``run`` / ``resume`` / ``show`` / ``cache stats|prune``) over
+  declarative TOML/JSON campaign configs.
 
 Quickstart (see ``examples/spur_campaign.py`` for the narrated version)::
 
@@ -40,15 +47,20 @@ from .params import (
     LayoutVariant,
     ParamSpace,
 )
+from .persist import load_result, save_result
 from .results import PointRecord, SweepResult, VariantRecord
 from .runner import SweepRunner, SweepTask
+from .store import CacheCorruptionWarning, DiskCacheStats, DiskExtractionCache
 
 __all__ = [
     "AXIS_INJECTED_POWER",
     "AXIS_NOISE_FREQUENCY",
     "AXIS_VTUNE",
+    "CacheCorruptionWarning",
     "CacheStats",
     "Campaign",
+    "DiskCacheStats",
+    "DiskExtractionCache",
     "ExtractionCache",
     "LayoutVariant",
     "ParamSpace",
@@ -62,4 +74,6 @@ __all__ = [
     "VariantRecord",
     "extraction_key",
     "fingerprint",
+    "load_result",
+    "save_result",
 ]

@@ -20,13 +20,27 @@ benchmarks), so runners and benchmarks treat them interchangeably.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Protocol, Sequence, TypeVar
 
 from ..errors import AnalysisError
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+
+def _task_label(task) -> str:
+    """Identity of a task for failure messages.
+
+    Runner tasks describe their own sweep corner via ``corner_label``; any
+    other payload falls back to a truncated repr.
+    """
+    label = getattr(task, "corner_label", None)
+    if callable(label):
+        return label()
+    text = repr(task)
+    return text if len(text) <= 200 else text[:197] + "..."
 
 
 class SweepBackend(Protocol):
@@ -54,31 +68,158 @@ class SerialBackend:
 
 
 class ProcessPoolBackend:
-    """Shard tasks across worker processes.
+    """Shard tasks across worker processes, with task-level retries.
 
     ``fn`` and every task must be picklable (the runner's task payloads are
     plain dataclasses of arrays and model objects).  Worker failures are not
-    swallowed: the first task exception is re-raised in the parent once all
-    submitted futures have settled, so a failing corner of a campaign fails
-    the campaign.
+    swallowed: a task that still fails after ``retries`` re-submissions
+    aborts the campaign with an :class:`AnalysisError` naming the failing
+    corner's parameters (the chained ``__cause__`` keeps the original
+    traceback).  A hard-killed worker (OOM, segfault) breaks the whole
+    executor; completed results are salvaged and the unfinished tasks get a
+    fresh pool until their retries run out — persistent breakage is then
+    reported as such, not blamed on a corner that never ran.  (With a single
+    effective worker the tasks run in the calling process to skip the pool
+    overhead: retries still apply to task exceptions, but a process-killing
+    fault there takes the parent down — there is no pool to break.)
+    ``task_attempts`` records how many attempts each task of the last
+    ``run`` took, so campaigns can report flaky-worker churn.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, retries: int = 0):
         if max_workers is not None and max_workers < 1:
             raise AnalysisError("ProcessPoolBackend needs at least one worker")
+        if retries < 0:
+            raise AnalysisError("retries must be >= 0")
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.retries = retries
+        #: per-task attempt counts of the most recent :meth:`run`
+        self.task_attempts: list[int] = []
+
+    def _give_up(self, task, attempts: int, exc: BaseException) -> None:
+        raise AnalysisError(
+            f"sweep task failed after {attempts} attempt(s): "
+            f"{_task_label(task)}") from exc
 
     def run(self, fn: Callable[[TaskT], ResultT],
             tasks: Sequence[TaskT]) -> list[ResultT]:
+        attempts = [0] * len(tasks)
+        self.task_attempts = attempts
         if not tasks:
             return []
         # A pool larger than the task list would only spawn idle workers.
         n_workers = min(self.max_workers, len(tasks))
         if n_workers == 1:
-            return [fn(task) for task in tasks]
+            return [self._run_in_process(fn, task, index, attempts)
+                    for index, task in enumerate(tasks)]
+        results: list[ResultT | None] = [None] * len(tasks)
+        remaining = list(range(len(tasks)))
+        while remaining:
+            # A hard-killed worker (OOM, segfault) breaks the whole executor;
+            # the unfinished tasks then get a fresh pool, each having spent
+            # one attempt, until they succeed or exhaust their retries.
+            remaining, causes = self._pool_round(fn, tasks, results, attempts,
+                                                remaining, n_workers)
+            exhausted = [index for index in remaining
+                         if attempts[index] > self.retries]
+            if not exhausted:
+                continue
+            # Blame a task that failed on its own if there is one; the rest
+            # merely shared a broken pool and may never have run, so they
+            # are reported as unfinished rather than as the failure.
+            blamed = next(
+                (index for index in exhausted
+                 if causes.get(index) is not None
+                 and not isinstance(causes[index], BrokenProcessPool)),
+                None)
+            if blamed is not None:
+                self._give_up(tasks[blamed], attempts[blamed], causes[blamed])
+            first = exhausted[0]
+            raise AnalysisError(
+                f"worker pool broke {attempts[first]} time(s); "
+                f"{len(exhausted)} task(s) exhausted their retries without "
+                f"completing, including: {_task_label(tasks[first])}"
+            ) from causes.get(first)
+        return results
+
+    def _pool_round(self, fn: Callable[[TaskT], ResultT],
+                    tasks: Sequence[TaskT], results: list,
+                    attempts: list[int], indices: list[int],
+                    n_workers: int,
+                    ) -> tuple[list[int], dict[int, BaseException]]:
+        """One executor lifetime; returns (unfinished indices, their causes).
+
+        Per-task failures are retried within the round; a broken pool ends
+        the round early with every not-yet-finished task listed as
+        unfinished (their submitted attempts count as spent).
+        """
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
+            pending: dict = {}
+            for index in indices:
+                attempts[index] += 1
+                pending[pool.submit(fn, tasks[index])] = index
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        results[index] = future.result()
+                    elif isinstance(exc, BrokenProcessPool):
+                        return self._drain_broken(index, exc, pending, results)
+                    elif attempts[index] <= self.retries:
+                        attempts[index] += 1
+                        try:
+                            pending[pool.submit(fn, tasks[index])] = index
+                        except BrokenProcessPool as submit_exc:
+                            return self._drain_broken(index, submit_exc,
+                                                      pending, results)
+                    else:
+                        self._give_up(tasks[index], attempts[index], exc)
+        return [], {}
+
+    @staticmethod
+    def _drain_broken(first_index: int, breakage: BaseException,
+                      pending: dict, results: list,
+                      ) -> tuple[list[int], dict[int, BaseException]]:
+        """Salvage a broken pool's futures: keep results that did complete.
+
+        When the executor breaks, every remaining future settles at once;
+        tasks that finished successfully before the crash keep their results
+        and only the genuinely unfinished ones are rescheduled.  A task that
+        failed with its *own* exception keeps that exception as its blame
+        (so an exhausted retry chains the real traceback, not the breakage).
+        """
+        unfinished = [first_index]
+        causes = {first_index: breakage}
+        for future, index in pending.items():
+            # Read the outcome before any cancel(): a cancelled future's
+            # exception() raises CancelledError instead of returning.
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    results[index] = future.result()
+                    continue
+            else:
+                future.cancel()
+                exc = None
+            unfinished.append(index)
+            causes[index] = breakage if exc is None \
+                or isinstance(exc, BrokenProcessPool) else exc
+        return unfinished, causes
+
+    def _run_in_process(self, fn: Callable[[TaskT], ResultT], task: TaskT,
+                        index: int, attempts: list[int]) -> ResultT:
+        """Single-worker path: no pool, but the same retry bookkeeping."""
+        while True:
+            attempts[index] += 1
+            try:
+                return fn(task)
+            except Exception as exc:
+                if attempts[index] > self.retries:
+                    self._give_up(task, attempts[index], exc)
 
     def describe(self) -> str:
+        if self.retries:
+            return f"process-pool[{self.max_workers},retries={self.retries}]"
         return f"process-pool[{self.max_workers}]"

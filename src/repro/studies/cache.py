@@ -199,5 +199,5 @@ class ExtractionCache:
         them itself.  Returns the key.
         """
         key = self.key(flow.cell, flow.technology, options, package)
-        self._entries[key] = flow
+        self.store(key, flow)
         return key

@@ -1,0 +1,457 @@
+"""``repro-campaign``: declare, launch, resume and inspect sweep campaigns.
+
+The CLI turns a declarative TOML or JSON config file into a
+:class:`~repro.studies.params.Campaign` and drives the
+:class:`~repro.studies.runner.SweepRunner` with a persistent
+:class:`~repro.studies.store.DiskExtractionCache`, so the paper's
+Fig. 7-10-style studies become reproducible artifacts: results land in an
+NPZ + JSON pair, extractions warm-start across runs, and an interrupted
+campaign picks up exactly where it stopped.
+
+Subcommands::
+
+    repro-campaign run     CONFIG [--result R.npz] [--cache-dir DIR] ...
+    repro-campaign resume  CONFIG [--result R.npz] ...
+    repro-campaign show    RESULT [--rows N]
+    repro-campaign cache   stats --cache-dir DIR
+    repro-campaign cache   prune --cache-dir DIR [--max-entries N]
+                                 [--max-age-days D] [--all]
+
+Config schema (TOML shown; the same structure as JSON works on every
+supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
+
+    name = "fig8_spur_sweep"
+
+    [axes]                      # sweep axes: lists, or log/linear ranges
+    vtune = [0.0, 0.75, 1.5]
+    noise_frequency = { start = 1e5, stop = 15e6, num = 12, spacing = "log" }
+
+    [layout]                    # VcoLayoutSpec overrides (base layout)
+    ground_width_scale = 1.0
+
+    [options]                   # VcoExperimentOptions overrides
+    injected_power_dbm = -5.0
+
+    [options.mesh]              # SubstrateExtractionOptions overrides
+    nx = 40
+    ny = 40
+
+    [execution]                 # defaults for the CLI flags
+    backend = "serial"          # or "process-pool"
+    workers = 2
+    retries = 0
+    cache_dir = ".repro-cache"
+    result = "fig8_result.npz"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import AnalysisError, ReproError
+from ..layout.testchips import VcoLayoutSpec
+from ..technology import make_technology
+from .backends import ProcessPoolBackend, SerialBackend, SweepBackend
+from .cache import ExtractionCache
+from .params import Campaign, ParamSpace
+from .results import SweepResult
+from .runner import SweepRunner
+from .store import DiskExtractionCache
+
+#: VcoExperimentOptions fields settable from the ``[options]`` table.
+_OPTION_FIELDS = (
+    "vtune_values",
+    "noise_frequencies",
+    "injected_power_dbm",
+    "source_impedance",
+    "supply_voltage",
+    "tail_bias_voltage",
+    "output_load",
+)
+
+
+@dataclass
+class ExecutionSettings:
+    """``[execution]`` table of a config, overridable by CLI flags."""
+
+    backend: str = "serial"
+    workers: int | None = None
+    retries: int = 0
+    cache_dir: str | None = None
+    result: str | None = None
+
+    def make_backend(self) -> SweepBackend:
+        if self.backend == "serial":
+            return SerialBackend()
+        if self.backend == "process-pool":
+            return ProcessPoolBackend(max_workers=self.workers,
+                                      retries=self.retries)
+        raise AnalysisError(
+            f"unknown backend {self.backend!r} (choose 'serial' or "
+            "'process-pool')")
+
+    def make_cache(self) -> ExtractionCache:
+        if self.cache_dir:
+            return DiskExtractionCache(self.cache_dir)
+        return ExtractionCache()
+
+
+@dataclass
+class CampaignConfig:
+    """A parsed campaign config file."""
+
+    campaign: Campaign
+    execution: ExecutionSettings
+    path: Path
+
+
+# -- config parsing -----------------------------------------------------------
+
+
+def _read_config_data(path: Path) -> dict:
+    if not path.exists():
+        raise AnalysisError(f"campaign config {path} does not exist")
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise AnalysisError(f"invalid JSON in {path}: {exc}") from exc
+    try:
+        import tomllib
+    except ImportError as exc:             # Python 3.10: no stdlib TOML parser
+        raise AnalysisError(
+            f"cannot parse {path}: TOML configs need Python 3.11+ "
+            "(tomllib); rewrite the config as JSON to run on this "
+            "interpreter") from exc
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisError(f"invalid TOML in {path}: {exc}") from exc
+
+
+def _axis_values(name: str, value) -> tuple[float, ...]:
+    """An axis entry: an explicit list, or a log/linear range spec.
+
+    Integer values stay integers — mesh axes (``mesh_nx``, ...) and integer
+    layout fields feed APIs that require ints, and floats otherwise work the
+    same.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(v if isinstance(v, int) and not isinstance(v, bool)
+                     else float(v) for v in value)
+    if isinstance(value, dict):
+        unknown = set(value) - {"start", "stop", "num", "spacing"}
+        if unknown:
+            raise AnalysisError(
+                f"axis {name!r}: unknown range keys {sorted(unknown)}")
+        try:
+            start, stop = float(value["start"]), float(value["stop"])
+            num = int(value.get("num", 10))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"axis {name!r}: a range needs numeric 'start', 'stop' "
+                "and 'num'") from exc
+        spacing = value.get("spacing", "linear")
+        if spacing == "log":
+            if start <= 0 or stop <= 0:
+                raise AnalysisError(
+                    f"axis {name!r}: log spacing needs positive bounds")
+            return tuple(float(v) for v in
+                         np.logspace(np.log10(start), np.log10(stop), num))
+        if spacing == "linear":
+            return tuple(float(v) for v in np.linspace(start, stop, num))
+        raise AnalysisError(
+            f"axis {name!r}: spacing must be 'log' or 'linear', "
+            f"not {spacing!r}")
+    raise AnalysisError(
+        f"axis {name!r}: expected a list of values or a range table, "
+        f"got {type(value).__name__}")
+
+
+def _check_table(table: dict, allowed: tuple[str, ...], context: str) -> None:
+    unknown = set(table) - set(allowed)
+    if unknown:
+        raise AnalysisError(
+            f"unknown key(s) {sorted(unknown)} in [{context}]; "
+            f"allowed: {sorted(allowed)}")
+
+
+def load_campaign_config(path: str | Path) -> CampaignConfig:
+    """Parse a TOML/JSON campaign config into a runnable campaign."""
+    from ..core.vco_experiment import VcoExperimentOptions
+
+    path = Path(path)
+    data = _read_config_data(path)
+    if not isinstance(data, dict):
+        raise AnalysisError(f"campaign config {path} must be a table/object")
+    _check_table(data, ("name", "axes", "layout", "options", "execution"),
+                 "top level")
+
+    axes_table = data.get("axes")
+    if not axes_table:
+        raise AnalysisError(f"campaign config {path} declares no [axes]")
+    axes = {name: _axis_values(name, value)
+            for name, value in axes_table.items()}
+
+    layout_table = dict(data.get("layout") or {})
+    spec_fields = tuple(f.name for f in fields(VcoLayoutSpec))
+    _check_table(layout_table, spec_fields, "layout")
+    base_spec = VcoLayoutSpec(**layout_table)
+
+    options_table = dict(data.get("options") or {})
+    mesh_table = dict(options_table.pop("mesh", {}) or {})
+    _check_table(options_table, _OPTION_FIELDS, "options")
+    for name in ("vtune_values", "noise_frequencies"):
+        if name in options_table:
+            options_table[name] = tuple(float(v)
+                                        for v in options_table[name])
+    options = VcoExperimentOptions(**options_table)
+    if mesh_table:
+        substrate = options.flow.substrate
+        mesh_fields = tuple(f.name for f in fields(type(substrate)))
+        _check_table(mesh_table, mesh_fields, "options.mesh")
+        options = replace(options, flow=replace(
+            options.flow, substrate=replace(substrate, **mesh_table)))
+
+    execution_table = dict(data.get("execution") or {})
+    _check_table(execution_table,
+                 tuple(f.name for f in fields(ExecutionSettings)),
+                 "execution")
+    execution = ExecutionSettings(**execution_table)
+
+    name = data.get("name") or path.stem
+    campaign = Campaign(name=str(name), space=ParamSpace(axes),
+                        base_spec=base_spec, options=options)
+    return CampaignConfig(campaign=campaign, execution=execution, path=path)
+
+
+def _apply_overrides(execution: ExecutionSettings,
+                     args: argparse.Namespace) -> ExecutionSettings:
+    updates = {}
+    for field_name in ("backend", "workers", "retries", "cache_dir", "result"):
+        value = getattr(args, field_name, None)
+        if value is not None:
+            updates[field_name] = value
+    return replace(execution, **updates) if updates else execution
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+def _print_run_report(result: SweepResult, cache: ExtractionCache,
+                      saved: tuple[Path, Path] | None) -> None:
+    summary = result.summary()
+    print(f"campaign {summary['campaign']!r}: {summary['points']} points, "
+          f"{summary['variants']} layout variant(s) on {summary['backend']}")
+    print(f"  extractions this run : {result.cache_misses} "
+          f"(cache hits {result.cache_hits})")
+    stats = cache.stats
+    extra = ""
+    if hasattr(stats, "evictions"):
+        extra = (f", evictions {stats.evictions}, "
+                 f"corrupted {stats.corrupted}")
+    print(f"  cache totals         : hits {stats.hits}, "
+          f"misses {stats.misses}{extra}")
+    print(f"  wall clock           : {result.wall_seconds:.2f} s")
+    worst = result.worst_spur()
+    print(f"  worst spur           : {worst.spur_power_dbm:.1f} dBm at "
+          f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
+          f"V_tune={worst.vtune:g} V")
+    if saved is not None:
+        print(f"  result written       : {saved[0]} (+ {saved[1].name})")
+
+
+def _write_summary_json(path: str, result: SweepResult,
+                        cache: ExtractionCache,
+                        saved: tuple[Path, Path] | None) -> None:
+    payload = dict(result.summary())
+    payload["extractions"] = result.cache_misses
+    payload["cache_hits"] = result.cache_hits
+    payload["cache_totals"] = {"hits": cache.stats.hits,
+                               "misses": cache.stats.misses}
+    if saved is not None:
+        payload["result_npz"] = str(saved[0])
+        payload["result_meta"] = str(saved[1])
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def _launch(args: argparse.Namespace, resume: bool) -> int:
+    """Shared body of ``run`` and ``resume``: one campaign through the runner."""
+    config = load_campaign_config(args.config)
+    execution = _apply_overrides(config.execution, args)
+    resume_from = None
+    if resume:
+        if not execution.result:
+            raise AnalysisError(
+                "resume needs a result path (--result or [execution].result "
+                "in the config)")
+        from .persist import result_paths
+
+        npz_path = result_paths(Path(execution.result))[0]
+        if npz_path.exists():
+            resume_from = SweepResult.load(npz_path)
+            print(f"resuming from {npz_path} "
+                  f"({len(resume_from.records)} stored points)")
+        else:
+            print(f"no stored result at {npz_path}; starting fresh")
+    cache = execution.make_cache()
+    runner = SweepRunner(make_technology(), backend=execution.make_backend(),
+                         cache=cache)
+    result = runner.run(config.campaign, resume_from=resume_from)
+    saved = result.save(execution.result) if execution.result else None
+    _print_run_report(result, cache, saved)
+    if args.summary_json:
+        _write_summary_json(args.summary_json, result, cache, saved)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _launch(args, resume=False)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    return _launch(args, resume=True)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    result = SweepResult.load(args.result)
+    from .persist import result_paths
+
+    meta = json.loads(result_paths(args.result)[1].read_text())
+    print(f"campaign   : {result.campaign_name}")
+    print(f"backend    : {result.backend_name}")
+    print(f"points     : {len(result.records)} "
+          f"({len(result.variants)} layout variant(s))")
+    print(f"wall clock : {result.wall_seconds:.2f} s; cache hits "
+          f"{result.cache_hits}, extractions {result.cache_misses}")
+    if meta.get("git_sha"):
+        print(f"git sha    : {meta['git_sha']}")
+    print("axes       :")
+    for name, values in result.axes.items():
+        preview = ", ".join(f"{v:g}" for v in values[:6])
+        ellipsis = ", ..." if len(values) > 6 else ""
+        print(f"  {name:20s} [{preview}{ellipsis}] ({len(values)} values)")
+    worst = result.worst_spur()
+    print(f"worst spur : {worst.spur_power_dbm:.1f} dBm at "
+          f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
+          f"V_tune={worst.vtune:g} V, variant {worst.variant_index}")
+    if args.rows:
+        print(f"\nfirst {args.rows} tidy rows:")
+        for row in result.rows()[:args.rows]:
+            cells = ", ".join(f"{key}={value:g}" for key, value in row.items()
+                              if not key.startswith("entry:"))
+            print(f"  {cells}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if not args.cache_dir:
+        raise AnalysisError("cache commands need --cache-dir")
+    # Inspection commands must not conjure the directory into existence —
+    # a typo'd --cache-dir should fail, not report a healthy empty cache.
+    if not Path(args.cache_dir).is_dir():
+        raise AnalysisError(
+            f"cache directory {args.cache_dir} does not exist")
+    cache = DiskExtractionCache(args.cache_dir)
+    if args.cache_command == "stats":
+        for key, value in cache.describe().items():
+            print(f"{key:15s}: {value}")
+        return 0
+    # prune
+    if args.all:
+        removed, freed = len(cache), cache.disk_bytes()
+        cache.clear()
+    else:
+        if args.max_entries is None and args.max_age_days is None:
+            raise AnalysisError(
+                "cache prune needs --max-entries, --max-age-days or --all")
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        removed, freed = cache.prune(max_entries=args.max_entries,
+                                     max_age_seconds=max_age)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"({freed / 1e6:.2f} MB); {len(cache)} left")
+    return 0
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Declare, launch, resume and inspect sweep campaigns "
+                    "of the substrate-noise reproduction flow.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_execution_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("config", help="campaign config file (.toml or .json)")
+        p.add_argument("--result", default=None,
+                       help="write the sweep result to this .npz path")
+        p.add_argument("--cache-dir", dest="cache_dir", default=None,
+                       help="persistent extraction-cache directory")
+        p.add_argument("--backend", choices=("serial", "process-pool"),
+                       default=None)
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --backend process-pool")
+        p.add_argument("--retries", type=int, default=None,
+                       help="per-task retries on worker failure")
+        p.add_argument("--summary-json", dest="summary_json", default=None,
+                       help="also write a machine-readable run summary here")
+
+    run = sub.add_parser("run", help="run a campaign from a config file")
+    add_execution_flags(run)
+    run.set_defaults(handler=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="complete a partially-run campaign (skips corners "
+                       "already in the stored result)")
+    add_execution_flags(resume)
+    resume.set_defaults(handler=_cmd_resume)
+
+    show = sub.add_parser("show", help="summarise a stored sweep result")
+    show.add_argument("result", help="path of a saved result (.npz)")
+    show.add_argument("--rows", type=int, default=0,
+                      help="also print the first N tidy rows")
+    show.set_defaults(handler=_cmd_show)
+
+    cache = sub.add_parser("cache", help="inspect or prune a cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="entry count and disk usage")
+    stats.add_argument("--cache-dir", dest="cache_dir", required=True)
+    stats.set_defaults(handler=_cmd_cache)
+    prune = cache_sub.add_parser("prune", help="evict cache entries")
+    prune.add_argument("--cache-dir", dest="cache_dir", required=True)
+    prune.add_argument("--max-entries", type=int, default=None,
+                       help="keep at most this many newest entries")
+    prune.add_argument("--max-age-days", type=float, default=None,
+                       help="drop entries older than this many days")
+    prune.add_argument("--all", action="store_true",
+                       help="drop every entry")
+    prune.set_defaults(handler=_cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,13 +33,16 @@ campaign is "options plus the axes you want to sweep".
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, fields, replace
-from typing import Callable, Iterator, Mapping, Sequence
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from ..core.flow import FlowOptions
 from ..errors import AnalysisError
 from ..layout.cell import Cell
 from ..layout.testchips import VcoLayoutSpec, make_vco_testchip
+
+if TYPE_CHECKING:
+    from ..core.vco_experiment import VcoExperimentOptions
 
 #: Reserved simulation-axis names (never invalidate the extraction).
 AXIS_NOISE_FREQUENCY = "noise_frequency"
@@ -214,3 +217,44 @@ class Campaign:
         powers, vtunes, frequencies = self.sim_grid()
         n_variants = max(len(self.layout_axes()), 1) * max(len(self.mesh_axes()), 1)
         return n_variants * len(powers) * len(vtunes) * len(frequencies)
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the campaign's grid, layout and options.
+
+        Two campaigns with the same axes, base spec and experiment options
+        fingerprint identically whichever process built them; persisted
+        results record it so a ``resume`` can refuse to mix campaigns.  The
+        ``cell_builder`` callable is deliberately excluded (callables have no
+        stable content hash) — campaigns with custom builders should use
+        distinct names.
+        """
+        from .cache import fingerprint as content_fingerprint
+
+        return content_fingerprint(self.name, dict(self.space.axes),
+                                   self.base_spec, self.options)
+
+    def describe(self) -> dict:
+        """JSON-serialisable description persisted alongside sweep results."""
+        options = self.options
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint(),
+            "axes": {name: list(values)
+                     for name, values in self.space.axes.items()},
+            "resolved_axes": {name: list(values)
+                              for name, values in self.resolved_axes().items()},
+            "base_spec": asdict(self.base_spec),
+            "options": {
+                "vtune_values": list(options.vtune_values),
+                "noise_frequencies": list(options.noise_frequencies),
+                "injected_power_dbm": options.injected_power_dbm,
+                "source_impedance": options.source_impedance,
+                "supply_voltage": options.supply_voltage,
+                "tail_bias_voltage": options.tail_bias_voltage,
+                "output_load": options.output_load,
+                "substrate_mesh": asdict(options.flow.substrate),
+            },
+            "n_points": self.n_points,
+        }

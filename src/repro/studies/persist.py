@@ -1,0 +1,333 @@
+"""Campaign-level result persistence: NPZ tidy arrays + JSON metadata.
+
+A persisted :class:`~repro.studies.results.SweepResult` is two files:
+
+* ``<stem>.npz`` — the tidy per-point arrays (axis coordinates, spur
+  outcomes, and the full per-entry decomposition) stored as raw float64 /
+  complex128 columns, so a save/load round trip is **bit-identical**: every
+  reconstructed :class:`~repro.vco.spurs.SpurResult` reproduces the original
+  spur powers exactly, not to within a tolerance;
+* ``<stem>.meta.json`` — a human-readable sidecar recording the campaign
+  spec (axes, base layout spec, options, content fingerprint), the git SHA
+  and timestamp of the run, the backend, wall-clock timings and the cache
+  traffic, plus the layout variants (knobs, spec, cache key).
+
+The extracted :class:`~repro.core.flow.FlowResult` models are deliberately
+*not* persisted here — they live in the
+:class:`~repro.studies.store.DiskExtractionCache`, keyed by the very cache
+keys the sidecar records.  A loaded result therefore carries
+``variants[i].flow is None``; everything the summary queries
+(:meth:`~repro.studies.results.SweepResult.worst_spur`,
+:meth:`~repro.studies.results.SweepResult.spur_vs_frequency`, ...) need is in
+the records themselves.
+
+Partially-completed campaigns are resumed by loading the partial result and
+passing it to :meth:`SweepRunner.run(campaign, resume_from=...)
+<repro.studies.runner.SweepRunner.run>` (or ``repro-campaign resume`` on the
+command line), which skips every corner the stored result already covers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..layout.testchips import VcoLayoutSpec
+from ..vco.spurs import NoiseEntry, SpurResult
+
+if TYPE_CHECKING:
+    from .results import SweepResult
+
+#: Version of the persisted result format (NPZ columns + sidecar schema).
+RESULT_FORMAT_VERSION = 1
+
+#: Prefix of layout/mesh knob columns inside the NPZ archive.
+_KNOB_PREFIX = "knob__"
+
+#: Scalar float columns stored per record (attribute name == column name).
+_SPUR_FLOAT_FIELDS = (
+    "carrier_frequency",
+    "carrier_amplitude",
+    "noise_amplitude",
+    "fm_voltage",
+    "am_voltage",
+    "lower_sideband_voltage",
+    "upper_sideband_voltage",
+)
+
+
+def result_paths(path: str | Path) -> tuple[Path, Path]:
+    """Normalise a result path into its ``(.npz, .meta.json)`` pair."""
+    path = Path(path)
+    if path.name.endswith(".meta.json"):
+        path = path.with_name(path.name[: -len(".meta.json")] + ".npz")
+    elif path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    return path, path.with_name(path.name[: -len(".npz")] + ".meta.json")
+
+
+def git_sha(cwd: str | Path | None = None) -> str | None:
+    """HEAD commit of the enclosing git checkout, or ``None`` outside one."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+# -- saving -------------------------------------------------------------------
+
+
+def save_result(result: "SweepResult", path: str | Path) -> tuple[Path, Path]:
+    """Persist ``result`` to ``<stem>.npz`` + ``<stem>.meta.json``.
+
+    Returns the two paths written.  Each file is written atomically
+    (temporary file + ``os.replace``), and the sidecar lands *before* the
+    NPZ: a save killed between the two replaces leaves at worst a sidecar
+    without arrays, which ``load`` reports as "no sweep result" and
+    ``resume`` treats as a fresh start.  A torn pair from *overwriting* an
+    older save is caught at load time: the sidecar records a checksum of
+    the arrays (deterministic — identical data saves byte-identically), and
+    ``load`` refuses a sidecar whose checksum does not match the NPZ.
+    """
+    from .store import atomic_write
+
+    npz_path, meta_path = result_paths(path)
+    columns = _encode_records(result)
+    meta = _encode_meta(result)
+    meta["arrays_sha256"] = _columns_checksum(columns)
+
+    def write_meta(handle):
+        json.dump(meta, handle, indent=2)
+        handle.write("\n")
+
+    atomic_write(meta_path, write_meta, binary=False)
+    atomic_write(npz_path, lambda handle: np.savez(handle, **columns))
+    return npz_path, meta_path
+
+
+def _columns_checksum(columns: dict[str, np.ndarray]) -> str:
+    """Deterministic SHA-256 over the tidy arrays (names, dtypes, bytes).
+
+    Stored in the sidecar and re-verified on load, so an interrupted
+    overwrite can never silently pair one save's metadata with another
+    save's arrays — even when both runs have the same number of records.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(columns):
+        array = columns[name]
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _encode_records(result: "SweepResult") -> dict[str, np.ndarray]:
+    records = result.records
+    n = len(records)
+
+    knob_names = sorted({name for record in records for name in record.knobs})
+    entry_names: list[str] = []
+    for record in records:
+        for entry in record.spur.entries:
+            if entry.name not in entry_names:
+                entry_names.append(entry.name)
+    e = len(entry_names)
+    entry_index = {name: i for i, name in enumerate(entry_names)}
+
+    columns: dict[str, np.ndarray] = {
+        "point_index": np.array([r.point_index for r in records], dtype=np.int64),
+        "variant_index": np.array([r.variant_index for r in records],
+                                  dtype=np.int64),
+        "injected_power_dbm": np.array([r.injected_power_dbm for r in records],
+                                       dtype=np.float64),
+        "vtune": np.array([r.vtune for r in records], dtype=np.float64),
+        "noise_frequency": np.array([r.noise_frequency for r in records],
+                                    dtype=np.float64),
+        "entry_names": np.array(entry_names, dtype=str),
+    }
+    for field_name in _SPUR_FLOAT_FIELDS:
+        columns[field_name] = np.array(
+            [getattr(r.spur, field_name) for r in records], dtype=np.float64)
+    for name in knob_names:
+        columns[_KNOB_PREFIX + name] = np.array(
+            [r.knobs.get(name, np.nan) for r in records], dtype=np.float64)
+
+    h_sub = np.zeros((n, e), dtype=np.complex128)
+    k_hz = np.zeros((n, e), dtype=np.float64)
+    g_am = np.zeros((n, e), dtype=np.float64)
+    fm_v = np.zeros((n, e), dtype=np.float64)
+    am_v = np.zeros((n, e), dtype=np.float64)
+    present = np.zeros((n, e), dtype=bool)
+    mechanism_rows = [[""] * e for _ in range(n)]
+    for row, record in enumerate(records):
+        for entry in record.spur.entries:
+            col = entry_index[entry.name]
+            present[row, col] = True
+            h_sub[row, col] = entry.h_sub
+            k_hz[row, col] = entry.k_hz_per_volt
+            g_am[row, col] = entry.g_am_per_volt
+            mechanism_rows[row][col] = entry.mechanism
+            fm_v[row, col] = record.spur.per_entry_fm_voltage.get(entry.name, 0.0)
+            am_v[row, col] = record.spur.per_entry_am_voltage.get(entry.name, 0.0)
+    # dtype sized from the data: mechanism strings round-trip untruncated.
+    mechanism = (np.array(mechanism_rows, dtype=str) if n and e
+                 else np.full((n, e), "", dtype="U1"))
+    columns.update(entry_h_sub=h_sub, entry_k_hz_per_volt=k_hz,
+                   entry_g_am_per_volt=g_am, entry_fm_voltage=fm_v,
+                   entry_am_voltage=am_v, entry_present=present,
+                   entry_mechanism=mechanism)
+    return columns
+
+
+def _encode_meta(result: "SweepResult") -> dict:
+    from dataclasses import asdict
+
+    return {
+        "format": RESULT_FORMAT_VERSION,
+        "kind": "repro-sweep-result",
+        "campaign_name": result.campaign_name,
+        "backend_name": result.backend_name,
+        "axes": {name: list(values) for name, values in result.axes.items()},
+        "campaign": result.campaign_spec,
+        "git_sha": git_sha(),
+        "created_unix": time.time(),
+        "n_records": len(result.records),
+        "timings": {
+            "wall_seconds": result.wall_seconds,
+        },
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+        },
+        "variants": [
+            {
+                "index": variant.index,
+                "knobs": variant.knobs,
+                "spec": asdict(variant.spec),
+                "cache_key": variant.cache_key,
+                "from_cache": variant.from_cache,
+            }
+            for variant in result.variants
+        ],
+    }
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def load_result(path: str | Path) -> "SweepResult":
+    """Load a persisted sweep result (``.npz`` plus its ``.meta.json``)."""
+    from .results import PointRecord, SweepResult, VariantRecord
+
+    npz_path, meta_path = result_paths(path)
+    if not npz_path.exists():
+        raise AnalysisError(f"no sweep result at {npz_path}")
+    if not meta_path.exists():
+        raise AnalysisError(f"sweep result {npz_path} has no metadata sidecar "
+                            f"({meta_path.name} is missing)")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (ValueError, OSError) as exc:
+        raise AnalysisError(
+            f"unreadable sweep-result metadata {meta_path}: {exc}") from exc
+    if meta.get("kind") != "repro-sweep-result":
+        raise AnalysisError(f"{meta_path} is not a sweep-result sidecar")
+    if meta.get("format") != RESULT_FORMAT_VERSION:
+        raise AnalysisError(
+            f"sweep result {npz_path} uses on-disk format "
+            f"{meta.get('format')!r}; this version reads "
+            f"{RESULT_FORMAT_VERSION}")
+
+    with np.load(npz_path, allow_pickle=False) as archive:
+        columns = {name: archive[name] for name in archive.files}
+    if meta.get("arrays_sha256") != _columns_checksum(columns):
+        raise AnalysisError(
+            f"sweep result {npz_path} is inconsistent with its sidecar "
+            f"{meta_path.name} (array checksum mismatch): the pair was "
+            "torn by an interrupted save — re-run or delete the result")
+
+    records = _decode_records(columns, PointRecord)
+    variants = [
+        VariantRecord(index=entry["index"],
+                      knobs={k: float(v) for k, v in entry["knobs"].items()},
+                      spec=VcoLayoutSpec(**entry["spec"]),
+                      cache_key=entry["cache_key"],
+                      flow=None,
+                      from_cache=bool(entry["from_cache"]))
+        for entry in meta.get("variants", [])
+    ]
+    return SweepResult(
+        campaign_name=meta["campaign_name"],
+        backend_name=meta["backend_name"],
+        axes={name: tuple(values) for name, values in meta["axes"].items()},
+        records=records,
+        variants=variants,
+        wall_seconds=float(meta["timings"]["wall_seconds"]),
+        cache_hits=int(meta["cache"]["hits"]),
+        cache_misses=int(meta["cache"]["misses"]),
+        campaign_spec=meta.get("campaign"))
+
+
+def _decode_records(columns: dict[str, np.ndarray], point_record_cls) -> list:
+    n = len(columns["point_index"])
+    entry_names = [str(name) for name in columns["entry_names"]]
+    knob_names = [name[len(_KNOB_PREFIX):] for name in columns
+                  if name.startswith(_KNOB_PREFIX)]
+
+    records = []
+    for row in range(n):
+        knobs = {}
+        for name in knob_names:
+            value = float(columns[_KNOB_PREFIX + name][row])
+            if not np.isnan(value):
+                knobs[name] = value
+        entries = []
+        per_entry_fm = {}
+        per_entry_am = {}
+        for col, name in enumerate(entry_names):
+            if not columns["entry_present"][row, col]:
+                continue
+            entries.append(NoiseEntry(
+                name=name,
+                h_sub=complex(columns["entry_h_sub"][row, col]),
+                k_hz_per_volt=float(columns["entry_k_hz_per_volt"][row, col]),
+                g_am_per_volt=float(columns["entry_g_am_per_volt"][row, col]),
+                mechanism=str(columns["entry_mechanism"][row, col])))
+            per_entry_fm[name] = float(columns["entry_fm_voltage"][row, col])
+            per_entry_am[name] = float(columns["entry_am_voltage"][row, col])
+        noise_frequency = float(columns["noise_frequency"][row])
+        spur = SpurResult(
+            noise_frequency=noise_frequency,
+            carrier_frequency=float(columns["carrier_frequency"][row]),
+            carrier_amplitude=float(columns["carrier_amplitude"][row]),
+            noise_amplitude=float(columns["noise_amplitude"][row]),
+            entries=entries,
+            fm_voltage=float(columns["fm_voltage"][row]),
+            am_voltage=float(columns["am_voltage"][row]),
+            lower_sideband_voltage=float(
+                columns["lower_sideband_voltage"][row]),
+            upper_sideband_voltage=float(
+                columns["upper_sideband_voltage"][row]),
+            per_entry_fm_voltage=per_entry_fm,
+            per_entry_am_voltage=per_entry_am)
+        records.append(point_record_cls(
+            point_index=int(columns["point_index"][row]),
+            variant_index=int(columns["variant_index"][row]),
+            knobs=knobs,
+            injected_power_dbm=float(columns["injected_power_dbm"][row]),
+            vtune=float(columns["vtune"][row]),
+            noise_frequency=noise_frequency,
+            spur=spur))
+    return records

@@ -18,7 +18,7 @@ paper's figures ask:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
@@ -68,13 +68,18 @@ class PointRecord:
 
 @dataclass(frozen=True)
 class VariantRecord:
-    """One extracted layout variant of a campaign."""
+    """One extracted layout variant of a campaign.
+
+    ``flow`` is ``None`` for results loaded from disk (the extracted models
+    live in the extraction cache under ``cache_key``, not in the result file)
+    and for variants that a resumed run did not need to re-extract.
+    """
 
     index: int
     knobs: dict[str, float]
     spec: VcoLayoutSpec
     cache_key: str
-    flow: FlowResult
+    flow: FlowResult | None
     from_cache: bool                  #: True when the extraction was a cache hit
 
 
@@ -90,9 +95,75 @@ class SweepResult:
     wall_seconds: float
     cache_hits: int                       #: cache hits during this run
     cache_misses: int                     #: cache misses (= extractions) during this run
+    #: JSON-serialisable campaign description (:meth:`Campaign.describe`),
+    #: persisted in the metadata sidecar and used to validate resumes.
+    campaign_spec: dict | None = None
 
     def __len__(self) -> int:
         return len(self.records)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> tuple:
+        """Persist to ``<stem>.npz`` + ``<stem>.meta.json``; returns the paths.
+
+        The float columns are stored raw (float64 / complex128), so
+        ``SweepResult.load(path)`` reconstructs records whose spur powers are
+        bit-identical to the in-memory originals.
+        """
+        from .persist import save_result
+
+        return save_result(self, path)
+
+    @staticmethod
+    def load(path) -> "SweepResult":
+        """Load a result persisted by :meth:`save` (``flow``-less variants)."""
+        from .persist import load_result
+
+        return load_result(path)
+
+    def merge(self, other: "SweepResult") -> "SweepResult":
+        """Combine two partial runs of the *same* campaign into one result.
+
+        Records are keyed by their deterministic grid ``point_index``; where
+        both results cover a point, this result's record wins.  Wall-clock
+        and cache counters are summed (cumulative cost of both runs).
+
+        This is the API for stitching separately-saved partial results (e.g.
+        corners computed on different machines).  Note that
+        :meth:`SweepRunner.run(resume_from=...)
+        <repro.studies.runner.SweepRunner.run>` merges records itself and
+        reports only the *fresh* run's wall clock and cache traffic.
+        """
+        mine = self.campaign_spec or {}
+        theirs = other.campaign_spec or {}
+        if mine.get("fingerprint") and theirs.get("fingerprint") \
+                and mine["fingerprint"] != theirs["fingerprint"]:
+            raise AnalysisError(
+                "cannot merge sweep results of different campaigns "
+                f"({self.campaign_name!r} vs {other.campaign_name!r}: "
+                "campaign fingerprints differ)")
+        if dict(self.axes) != dict(other.axes):
+            raise AnalysisError(
+                "cannot merge sweep results with different axes "
+                f"({sorted(self.axes)} vs {sorted(other.axes)})")
+        by_point = {record.point_index: record for record in other.records}
+        by_point.update({record.point_index: record for record in self.records})
+        variants: dict[int, VariantRecord] = {
+            variant.index: variant for variant in other.variants}
+        for variant in self.variants:
+            if variant.flow is not None or variant.index not in variants:
+                variants[variant.index] = variant
+        return SweepResult(
+            campaign_name=self.campaign_name,
+            backend_name=self.backend_name,
+            axes=self.axes,
+            records=[by_point[index] for index in sorted(by_point)],
+            variants=[variants[index] for index in sorted(variants)],
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            campaign_spec=self.campaign_spec or other.campaign_spec)
 
     # -- tidy columns --------------------------------------------------------
 

@@ -25,16 +25,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.flow import FlowOptions, FlowResult, run_extraction_flow
+from ..errors import AnalysisError
 from ..layout.cell import Cell
 from ..technology.process import ProcessTechnology
 from .backends import SerialBackend, SweepBackend
 from .cache import ExtractionCache
 from .params import Campaign, LayoutVariant
 from .results import PointRecord, SweepResult, VariantRecord
+
+if TYPE_CHECKING:
+    from ..core.vco_experiment import VcoExperimentOptions
+    from ..layout.testchips import VcoLayoutSpec
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,15 @@ class SweepTask:
     flow: FlowResult                       #: pre-extracted models of the variant
     first_point_index: int                 #: global index of the first point
 
+    def corner_label(self) -> str:
+        """Human-readable corner identity (used in failure messages)."""
+        knobs = "".join(f" {name}={value:g}"
+                        for name, value in sorted(self.knobs.items()))
+        return (f"variant {self.variant_index}{knobs}, "
+                f"P_inj={self.injected_power_dbm:g} dBm, "
+                f"V_tune={self.vtune:g} V, "
+                f"{len(self.noise_frequencies)} noise frequencies")
+
 
 @dataclass(frozen=True)
 class TaskOutcome:
@@ -71,6 +86,11 @@ class ExtractionTask:
     cell: Cell
     technology: ProcessTechnology
     flow_options: FlowOptions
+
+    def corner_label(self) -> str:
+        """Human-readable identity of the extraction (failure messages)."""
+        return (f"extraction of variant {self.variant_index} "
+                f"(cell {self.cell.name!r})")
 
 
 def _execute_extraction(task: ExtractionTask) -> FlowResult:
@@ -165,7 +185,16 @@ class SweepRunner:
 
     def _build_tasks(self, campaign: Campaign,
                      variants: list[LayoutVariant],
-                     extracted: list[VariantRecord]) -> list[SweepTask]:
+                     extracted: list[VariantRecord],
+                     skip: frozenset[tuple[int, float, float]] = frozenset(),
+                     ) -> list[SweepTask]:
+        """One task per pending (variant, power, vtune) corner.
+
+        ``skip`` holds corners an earlier (persisted) run already completed;
+        their tasks are omitted but the deterministic global point indexing
+        still advances past them, so merged records line up exactly with a
+        never-interrupted run.
+        """
         powers, vtunes, frequencies = campaign.sim_grid()
         tasks: list[SweepTask] = []
         point_index = 0
@@ -175,43 +204,119 @@ class SweepRunner:
                                   injected_power_dbm=power,
                                   flow=variant.flow_options)
                 for vtune in vtunes:
-                    tasks.append(SweepTask(
-                        index=len(tasks),
-                        variant_index=variant.index,
-                        knobs=dict(variant.knobs),
-                        technology=self.technology,
-                        spec=variant.spec,
-                        options=options,
-                        injected_power_dbm=power,
-                        vtune=vtune,
-                        noise_frequencies=frequencies,
-                        flow=record.flow,
-                        first_point_index=point_index))
+                    if (variant.index, power, vtune) not in skip:
+                        if record.flow is None:
+                            raise AnalysisError(
+                                f"variant {variant.index} has pending corners "
+                                "but no extracted flow (corrupt resume state)")
+                        tasks.append(SweepTask(
+                            index=len(tasks),
+                            variant_index=variant.index,
+                            knobs=dict(variant.knobs),
+                            technology=self.technology,
+                            spec=variant.spec,
+                            options=options,
+                            injected_power_dbm=power,
+                            vtune=vtune,
+                            noise_frequencies=frequencies,
+                            flow=record.flow,
+                            first_point_index=point_index))
                     point_index += len(frequencies)
         return tasks
 
+    # -- resume bookkeeping --------------------------------------------------
+
+    @staticmethod
+    def _completed_corners(campaign: Campaign,
+                           resume_from: SweepResult | None,
+                           n_frequencies: int,
+                           ) -> frozenset[tuple[int, float, float]]:
+        """Corners of ``campaign`` fully covered by a stored partial result.
+
+        A corner counts as complete only when every noise frequency of the
+        campaign has a record (tasks are atomic, so a run killed mid-task
+        leaves no partial corners — but a result saved from a *different*
+        frequency grid would, and the fingerprint check catches that first).
+        """
+        if resume_from is None:
+            return frozenset()
+        stored = (resume_from.campaign_spec or {}).get("fingerprint")
+        if stored is not None and stored != campaign.fingerprint():
+            raise AnalysisError(
+                f"cannot resume campaign {campaign.name!r} from a result of "
+                f"campaign {resume_from.campaign_name!r}: the stored "
+                "fingerprint does not match this campaign's axes/spec/options")
+        counts: dict[tuple[int, float, float], int] = {}
+        for record in resume_from.records:
+            corner = (record.variant_index, record.injected_power_dbm,
+                      record.vtune)
+            counts[corner] = counts.get(corner, 0) + 1
+        return frozenset(corner for corner, count in counts.items()
+                         if count >= n_frequencies)
+
+    @staticmethod
+    def _carried_variant(variant: LayoutVariant,
+                         resume_from: SweepResult | None) -> VariantRecord:
+        """Variant record for a fully-completed variant (no re-extraction)."""
+        if resume_from is not None:
+            for record in resume_from.variants:
+                if record.index == variant.index:
+                    return record
+        return VariantRecord(index=variant.index, knobs=dict(variant.knobs),
+                             spec=variant.spec, cache_key="", flow=None,
+                             from_cache=True)
+
     # -- execution -----------------------------------------------------------
 
-    def run(self, campaign: Campaign) -> SweepResult:
-        """Execute the campaign and aggregate its tidy result."""
+    def run(self, campaign: Campaign,
+            resume_from: SweepResult | None = None) -> SweepResult:
+        """Execute the campaign and aggregate its tidy result.
+
+        With ``resume_from`` (a previously persisted, possibly partial result
+        of the *same* campaign), corners the stored result already covers are
+        skipped entirely — their variants are not even re-extracted — and the
+        stored records are merged with the freshly computed ones into one
+        complete result.
+        """
         start = time.perf_counter()
         hits_before = self.cache.hits
         misses_before = self.cache.misses
 
         variants = campaign.variants()
-        extracted = self._extract_variants(campaign, variants)
-        tasks = self._build_tasks(campaign, variants, extracted)
+        powers, vtunes, frequencies = campaign.sim_grid()
+        done = self._completed_corners(campaign, resume_from, len(frequencies))
+
+        pending_variants = [
+            variant for variant in variants
+            if any((variant.index, power, vtune) not in done
+                   for power in powers for vtune in vtunes)]
+        extracted = {record.index: record
+                     for record in self._extract_variants(campaign,
+                                                          pending_variants)}
+        variant_records = [
+            extracted.get(variant.index)
+            or self._carried_variant(variant, resume_from)
+            for variant in variants]
+        tasks = self._build_tasks(campaign, variants, variant_records,
+                                  skip=done)
         outcomes = self.backend.run(_execute_task, tasks)
 
         records: list[PointRecord] = []
+        if resume_from is not None:
+            records.extend(
+                record for record in resume_from.records
+                if (record.variant_index, record.injected_power_dbm,
+                    record.vtune) in done)
         for outcome in sorted(outcomes, key=lambda o: o.index):
             records.extend(outcome.records)
+        records.sort(key=lambda record: record.point_index)
         return SweepResult(
             campaign_name=campaign.name,
             backend_name=self.backend.describe(),
             axes=campaign.resolved_axes(),
             records=records,
-            variants=extracted,
+            variants=variant_records,
             wall_seconds=time.perf_counter() - start,
             cache_hits=self.cache.hits - hits_before,
-            cache_misses=self.cache.misses - misses_before)
+            cache_misses=self.cache.misses - misses_before,
+            campaign_spec=campaign.describe())

@@ -1,0 +1,314 @@
+"""Persistent, content-addressed extraction store (disk-backed cache).
+
+:class:`DiskExtractionCache` is the on-disk sibling of the in-memory
+:class:`~repro.studies.cache.ExtractionCache`: the same counted
+``key``/``lookup``/``store``/``get_or_extract`` protocol, but every stored
+:class:`~repro.core.flow.FlowResult` is also written to a cache directory so
+campaigns warm-start *across processes and CI runs*.  The layout is
+
+.. code-block:: text
+
+    <cache_dir>/
+        objects/<key[:2]>/<key>.flow.pkl     one envelope per extraction
+
+where ``key`` is the stable SHA-256 content hash of (layout cell, mesh spec,
+technology) computed by :func:`~repro.studies.cache.extraction_key` — the
+same hash whichever process computes it, which is what makes the directory
+shareable between runs, machines and CI caches.
+
+Robustness properties:
+
+* **atomic writes** — entries are written to a temporary file in the same
+  directory and ``os.replace``-d into place, so a killed process never leaves
+  a half-written entry behind;
+* **versioned format** — every entry is an envelope recording the on-disk
+  format version *and* a fingerprint of the extraction-relevant source code;
+  entries written by an incompatible store version or by older extraction
+  code are silently discarded and re-extracted (counted as evictions), so a
+  stale cache directory can never reproduce pre-fix numbers;
+* **corruption tolerance** — an unreadable or truncated entry produces a
+  warning, is deleted, and the extraction simply re-runs (counted in
+  ``stats.corrupted``); a corrupt cache can never fail a campaign;
+* **counters** — ``stats`` extends the in-memory cache's hit/miss counters
+  with eviction and corruption counts, so tests and CI can assert the
+  warm-start behaviour (`hits > 0`, `misses == 0`).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..core.flow import FlowResult, run_extraction_flow
+from .cache import CacheStats, ExtractionCache
+
+#: Version of the on-disk entry format.  Bump when the envelope layout or the
+#: pickled payload becomes incompatible; older entries are then evicted and
+#: re-extracted instead of being misread.
+DISK_FORMAT_VERSION = 1
+
+#: Suffix of entry files under ``objects/``.
+ENTRY_SUFFIX = ".flow.pkl"
+
+#: Source trees (relative to the ``repro`` package) whose code determines the
+#: extraction output.  Their contents are hashed into every entry envelope, so
+#: entries computed by *older extraction code* are evicted and re-extracted
+#: instead of being served stale — the content key alone only covers the
+#: extraction *inputs* (layout cell, mesh spec, technology).
+_EXTRACTION_SOURCES = (
+    "core/flow.py",
+    "devices",
+    "extraction",
+    "interconnect",
+    "layout",
+    "netlist",
+    "package",
+    "substrate",
+    "technology",
+)
+
+
+def atomic_write(path: Path, write: Callable, binary: bool = True) -> None:
+    """Write a file atomically: temp file in the same directory + replace.
+
+    ``write`` receives the open temporary file handle.  A crash anywhere
+    before the final ``os.replace`` leaves only a ``.tmp-*`` orphan, never a
+    truncated file at ``path``.  Shared by the cache store and the result
+    persistence, so the cleanup subtleties live in one place.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                            suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb" if binary else "w") as handle:
+            write(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        os.unlink(tmp_name)
+        raise
+
+
+@functools.lru_cache(maxsize=1)
+def extraction_code_fingerprint() -> str:
+    """SHA-256 over the extraction-relevant sources of this installation."""
+    import repro
+
+    digest = hashlib.sha256()
+    try:
+        root = Path(repro.__file__).parent
+        for relative in _EXTRACTION_SOURCES:
+            path = root / relative
+            files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+            for source in files:
+                digest.update(str(source.relative_to(root)).encode())
+                digest.update(source.read_bytes())
+    except OSError:
+        # Sourceless installation: fall back to a constant so caches still
+        # work (entries then invalidate only via DISK_FORMAT_VERSION).
+        return "unknown"
+    return digest.hexdigest()
+
+
+@dataclass
+class DiskCacheStats(CacheStats):
+    """Hit/miss counters plus the disk-specific eviction/corruption counts."""
+
+    evictions: int = 0  #: entries removed by pruning or version mismatch
+    corrupted: int = 0  #: unreadable entries discarded (then re-extracted)
+
+    def reset(self) -> None:
+        super().reset()
+        self.evictions = 0
+        self.corrupted = 0
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache entry could not be read and was discarded."""
+
+
+class DiskExtractionCache(ExtractionCache):
+    """Content-addressed :class:`FlowResult` store persisted under a directory.
+
+    Drop-in replacement for :class:`ExtractionCache` anywhere the sweep engine
+    accepts a cache (``SweepRunner(cache=...)``, ``spur_sweep(cache=...)``).
+    Entries read from disk are memoised in memory, so repeated lookups within
+    one process unpickle at most once.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike[str],
+        extractor: Callable[..., FlowResult] = run_extraction_flow,
+    ):
+        super().__init__(extractor)
+        self.stats = DiskCacheStats()
+        self.cache_dir = Path(cache_dir)
+        self.objects_dir = self.cache_dir / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        """On-disk location of the entry for ``key``."""
+        return self.objects_dir / key[:2] / f"{key}{ENTRY_SUFFIX}"
+
+    def _entry_files(self) -> list[Path]:
+        # Orphaned ".tmp-*" files from a killed write are not entries.
+        return sorted(path for path in self.objects_dir.glob(f"*/*{ENTRY_SUFFIX}")
+                      if not path.name.startswith("."))
+
+    def iter_keys(self) -> Iterator[str]:
+        """Keys of every entry currently on disk."""
+        for path in self._entry_files():
+            yield path.name[: -len(ENTRY_SUFFIX)]
+
+    # -- sizing --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self.entry_path(key).exists()
+
+    def disk_bytes(self) -> int:
+        """Total size of all entry files in bytes."""
+        return sum(path.stat().st_size for path in self._entry_files())
+
+    # -- reads ---------------------------------------------------------------
+
+    def lookup(self, key: str) -> FlowResult | None:
+        """Counted lookup through the memory memo, then the disk store."""
+        flow = self._entries.get(key)
+        if flow is None:
+            flow = self._read(key)
+            if flow is not None:
+                self._entries[key] = flow
+        if flow is not None:
+            self.stats.hits += 1
+            self._touch(key)
+        else:
+            self.stats.misses += 1
+        return flow
+
+    def _touch(self, key: str) -> None:
+        """Bump the entry's mtime so pruning approximates LRU, not FIFO."""
+        try:
+            os.utime(self.entry_path(key))
+        except OSError:
+            pass
+
+    def _read(self, key: str) -> FlowResult | None:
+        """Uncounted disk read; discards (and survives) bad entries."""
+        path = self.entry_path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                envelope = pickle.load(handle)
+            if not isinstance(envelope, dict) or "format" not in envelope:
+                raise ValueError("not a cache envelope")
+            if envelope["format"] != DISK_FORMAT_VERSION \
+                    or envelope.get("code") != extraction_code_fingerprint():
+                # Written by another version of the store or by different
+                # extraction code: evict silently and re-extract.
+                path.unlink(missing_ok=True)
+                self.stats.evictions += 1
+                return None
+            if envelope.get("key") != key:
+                raise ValueError(
+                    f"envelope key {envelope.get('key')!r} does not match "
+                    f"file name"
+                )
+            return envelope["flow"]
+        except Exception as exc:  # noqa: BLE001 - any bad entry => re-extract
+            warnings.warn(
+                f"discarding corrupted extraction-cache entry {path.name!r} "
+                f"({type(exc).__name__}: {exc}); the extraction will re-run",
+                CacheCorruptionWarning,
+                stacklevel=3,
+            )
+            path.unlink(missing_ok=True)
+            self.stats.corrupted += 1
+            return None
+
+    # -- writes --------------------------------------------------------------
+
+    def store(self, key: str, flow: FlowResult) -> None:
+        """Write-through install: memoise and atomically persist the entry.
+
+        Keys are content-addressed, so an entry file that already exists
+        holds the same payload — re-seeding a warm layout skips the pickle
+        and rewrite entirely (a stale-code entry left behind by this
+        shortcut is still caught and evicted by the next disk read).
+        """
+        self._entries[key] = flow
+        path = self.entry_path(key)
+        if path.exists():
+            self._touch(key)
+            return
+        envelope = {"format": DISK_FORMAT_VERSION, "key": key,
+                    "code": extraction_code_fingerprint(), "flow": flow}
+        atomic_write(path, lambda handle: pickle.dump(
+            envelope, handle, protocol=pickle.HIGHEST_PROTOCOL))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every entry (memory and disk) and reset the counters."""
+        for path in self._entry_files():
+            path.unlink(missing_ok=True)
+        self._entries.clear()
+        self.stats.reset()
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        max_age_seconds: float | None = None,
+    ) -> tuple[int, int]:
+        """Evict old entries; returns ``(entries_removed, bytes_freed)``.
+
+        ``max_entries`` keeps only the most recently touched entries;
+        ``max_age_seconds`` drops entries older than the given age.  Both
+        criteria may be combined; with neither, nothing is removed.
+        """
+        stamped = []
+        for path in self._entry_files():
+            stat = path.stat()
+            stamped.append((stat.st_mtime, stat.st_size, path))
+        stamped.sort(key=lambda entry: entry[0], reverse=True)  # newest first
+        doomed = []
+        if max_age_seconds is not None:
+            cutoff = time.time() - max_age_seconds
+            doomed = [entry for entry in stamped if entry[0] < cutoff]
+            stamped = [entry for entry in stamped if entry[0] >= cutoff]
+        if max_entries is not None and max_entries >= 0:
+            doomed.extend(stamped[max_entries:])
+        freed = 0
+        for _mtime, size, path in doomed:
+            key = path.name[: -len(ENTRY_SUFFIX)]
+            self._entries.pop(key, None)
+            freed += size
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+        return len(doomed), freed
+
+    def describe(self) -> dict[str, int | str]:
+        """Headline numbers for the CLI's ``cache stats`` report."""
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": len(self),
+            "disk_bytes": self.disk_bytes(),
+            "format_version": DISK_FORMAT_VERSION,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "corrupted": self.stats.corrupted,
+        }

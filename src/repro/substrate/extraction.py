@@ -22,9 +22,8 @@ junction/oxide capacitance for capacitive ports).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..errors import ExtractionError
 from ..layout.cell import Cell, DeviceAnnotation

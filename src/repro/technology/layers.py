@@ -176,7 +176,7 @@ class LayerStack:
     def metal_layers(self) -> list[Layer]:
         """Metal layers ordered from lowest to highest above the substrate."""
         metals = [layer for layer in self.layers.values() if layer.is_metal]
-        return sorted(metals, key=lambda l: l.height_above_substrate or 0.0)
+        return sorted(metals, key=lambda layer: layer.height_above_substrate or 0.0)
 
     def via_between(self, lower: str, upper: str) -> ViaDefinition:
         """Find the via definition connecting two conducting layers."""

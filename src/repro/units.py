@@ -9,7 +9,7 @@ keep the rest of the code free of ``10 * log10`` boilerplate.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ taken from the extracted devices at their operating point.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..devices.inductor import SpiralInductor
 from ..devices.varactor import AccumulationModeVaractor

@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..errors import AnalysisError
 from ..simulator.transfer import TransferFunction

@@ -15,8 +15,6 @@ from repro.core.flow import FlowOptions, run_extraction_flow
 from repro.core.nmos import NmosExperimentOptions, run_nmos_experiment
 from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis
 from repro.layout.testchips import (
-    NmosStructureSpec,
-    VcoLayoutSpec,
     make_nmos_measurement_structure,
     make_vco_testchip,
 )

@@ -1,6 +1,5 @@
 """Spectrum emulation, noise waveforms and curve comparison."""
 
-import math
 
 import numpy as np
 import pytest

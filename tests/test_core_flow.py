@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.flow import FlowOptions, run_extraction_flow
 from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING
 
 

@@ -8,7 +8,6 @@ a coarse mesh quickly.
 import numpy as np
 import pytest
 
-from repro.data import measurements
 
 
 def test_transfer_curve_is_monotonically_decreasing(nmos_result):

@@ -7,7 +7,7 @@ from repro.extraction import extract_circuit, merge_models
 from repro.layout.cell import Cell, DeviceAnnotation
 from repro.layout.geometry import Rect
 from repro.layout.testchips import NET_GROUND_RING, NET_SUB, backgate_node
-from repro.netlist.devices import MosfetElement, VaractorElement
+from repro.netlist.devices import MosfetElement
 from repro.package import PackageModel
 from repro.substrate.extraction import PortKind
 

@@ -1,8 +1,6 @@
 """Interconnect extraction, RC wire models and package models."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -14,7 +12,6 @@ from repro.layout.testchips import NET_GROUND_PAD, NET_GROUND_RING
 from repro.netlist import Circuit, SourceValue
 from repro.package import BondwireModel, PackageModel, RfProbeModel
 from repro.simulator import ac_analysis, dc_operating_point
-from repro.technology import make_technology
 
 
 # -- WireRC ----------------------------------------------------------------------------

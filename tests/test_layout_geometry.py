@@ -1,6 +1,5 @@
 """Geometry primitives: rectangles, paths, bounding boxes."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -1,6 +1,5 @@
 """Netlist elements, circuit container and subcircuits."""
 
-import math
 
 import pytest
 
@@ -10,13 +9,11 @@ from repro.netlist import (
     GROUND,
     Capacitor,
     Circuit,
-    CurrentSource,
     Inductor,
     MosfetElement,
     Resistor,
     SourceValue,
     Subcircuit,
-    VoltageSource,
     vectorized_waveform,
 )
 from repro.technology import make_technology

@@ -4,7 +4,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import strategies as st
 
 from repro.errors import ConvergenceError, SimulationError
 from repro.netlist import Circuit, SourceValue
@@ -14,9 +14,7 @@ from repro.simulator import (
     transfer_function,
     transient_analysis,
 )
-from repro.simulator.dc import DcOptions
 from repro.simulator.transient import TransientOptions
-from repro.technology import make_technology
 
 
 # -- DC --------------------------------------------------------------------------------

@@ -5,9 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
-from repro.netlist import Circuit, SourceValue
+from repro.netlist import Circuit
 from repro.simulator.mna import (
-    MatrixStamper,
     MnaStructure,
     SolutionView,
     solve_sparse,

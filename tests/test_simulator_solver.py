@@ -26,9 +26,7 @@ from repro.simulator.solver import (
     add_gmin_diagonal,
     stats,
 )
-from repro.simulator.transient import TransientOptions
 from repro.substrate import MeshSpec, SubstrateMesh, kron_reduce
-from repro.technology import make_technology
 
 ATOL = 1e-12
 
@@ -222,7 +220,6 @@ def test_linear_transient_single_factorization():
 
 
 def test_shared_pattern_matches_sparse_add():
-    rng = np.random.default_rng(5)
     g = sp.random(40, 40, density=0.1, format="csr", random_state=1)
     c = sp.random(40, 40, density=0.1, format="csr", random_state=2)
     pair = SharedPatternPair(g, c)

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ExtractionError
@@ -10,14 +9,12 @@ from repro.layout.geometry import Rect
 from repro.substrate import (
     MeshSpec,
     PortKind,
-    SubstrateExtractionOptions,
     SubstrateMacromodel,
     SubstrateMesh,
     extract_substrate,
     identify_ports,
     kron_reduce,
 )
-from repro.technology import make_technology
 
 
 @pytest.fixture(scope="module")
@@ -76,7 +73,6 @@ def test_conductance_matrix_is_symmetric_laplacian(small_mesh):
 
 
 def test_conductance_scales_with_resistivity(technology):
-    from dataclasses import replace
 
     from repro.technology.process import SubstrateLayer, SubstrateProfile
 

@@ -8,11 +8,9 @@ from repro.technology import (
     LayerPurpose,
     LayerStack,
     MosParameters,
-    ProcessTechnology,
     SubstrateLayer,
     SubstrateProfile,
     ViaDefinition,
-    WellParameters,
     make_technology,
 )
 

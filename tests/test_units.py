@@ -1,6 +1,5 @@
 """Unit conversions and dB helpers."""
 
-import math
 
 import numpy as np
 import pytest

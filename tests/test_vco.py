@@ -1,8 +1,6 @@
 """LC-tank VCO model, sensitivities and spur equations."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
