@@ -17,6 +17,7 @@ bookkeeping).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 
@@ -25,6 +26,8 @@ from ..extraction.merge import ImpactNetlist, merge_models
 from ..interconnect.extraction import InterconnectExtraction, extract_interconnect
 from ..layout.cell import Cell
 from ..package.model import PackageModel
+from ..simulator.linalg import SolverOptions, resolve_solver
+from ..simulator.solver import SolverStats
 from ..substrate.extraction import (
     SubstrateExtraction,
     SubstrateExtractionOptions,
@@ -42,6 +45,10 @@ class FlowOptions:
     #: node receiving the interconnect wire-to-substrate capacitances
     #: (``None`` = the first TAP port's net, i.e. the local ground ring).
     substrate_cap_reference: str | None = None
+    #: linear-solver backend configuration.  Part of the studies
+    #: extraction-cache key: flows solved by different backends / tolerances
+    #: never share a cached extraction.
+    solver: SolverOptions = field(default_factory=SolverOptions)
 
 
 @dataclass
@@ -70,10 +77,12 @@ class FlowResult:
     devices: ExtractedCircuit
     impact: ImpactNetlist
     timings: FlowTimings
+    #: solver counters of the extraction's mesh solve (backend, CG traffic)
+    solver_stats: SolverStats | None = None
 
     def summary(self) -> dict[str, int | float | str]:
         """Headline numbers for logging / reports."""
-        return {
+        summary: dict[str, int | float | str] = {
             "cell": self.cell.name,
             "substrate_ports": len(self.substrate.ports),
             "substrate_mesh_nodes": self.substrate.mesh_nodes,
@@ -83,6 +92,9 @@ class FlowResult:
             "impact_netlist_nodes": len(self.impact.circuit.nodes()),
             "extraction_seconds": round(self.timings.total_extraction, 3),
         }
+        if self.solver_stats is not None:
+            summary["solver_backend"] = self.solver_stats.backend
+        return summary
 
 
 def run_extraction_flow(cell: Cell, technology: ProcessTechnology,
@@ -91,9 +103,11 @@ def run_extraction_flow(cell: Cell, technology: ProcessTechnology,
     """Run the paper's extraction flow on a layout cell."""
     options = options or FlowOptions()
     timings = FlowTimings()
+    solver = resolve_solver(options.solver)
 
     start = time.perf_counter()
-    substrate = extract_substrate(cell, technology, options.substrate)
+    substrate = extract_substrate(cell, technology, options.substrate,
+                                  solver=solver)
     timings.substrate_extraction = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -111,4 +125,5 @@ def run_extraction_flow(cell: Cell, technology: ProcessTechnology,
 
     return FlowResult(cell=cell, technology=technology, substrate=substrate,
                       interconnect=interconnect, devices=devices,
-                      impact=impact, timings=timings)
+                      impact=impact, timings=timings,
+                      solver_stats=copy.copy(solver.stats))

@@ -57,6 +57,7 @@ from ..layout.testchips import (
 )
 from ..package.model import PackageModel
 from ..simulator.dc import DcSolution, dc_operating_point
+from ..simulator.linalg import resolve_solver
 from ..simulator.transfer import TransferFunction, transfer_function
 from ..technology.process import ProcessTechnology
 from ..vco.lctank import LcTankVco, VcoDesign
@@ -134,6 +135,10 @@ class VcoImpactAnalysis:
                                               options=self.options.flow)
         self.flow = flow_result
         self._operating_points: dict[float, DcSolution] = {}
+        # One solver instance for every analysis of this object: the
+        # reuse-pattern backend then shares its symbolic analysis across
+        # V_tune points and noise frequencies (same testbench structure).
+        self.solver = resolve_solver(self.options.flow.solver)
         self._noise = SinusoidalNoise(
             power_dbm=self.options.injected_power_dbm, frequency=1e6,
             impedance=self.options.source_impedance)
@@ -276,7 +281,7 @@ class VcoImpactAnalysis:
         noise_frequencies = np.asarray(noise_frequencies, dtype=float)
 
         circuit = self.build_testbench(vtune)
-        operating_point = dc_operating_point(circuit)
+        operating_point = dc_operating_point(circuit, solver=self.solver)
         self._operating_points[vtune] = operating_point
 
         vco = self.vco_model(operating_point)
@@ -284,7 +289,8 @@ class VcoImpactAnalysis:
         transfer = transfer_function(circuit, "VSUB_SRC",
                                      catalog.observation_nodes(),
                                      noise_frequencies,
-                                     operating_point=operating_point)
+                                     operating_point=operating_point,
+                                     solver=self.solver)
         carrier_frequency = vco.oscillation_frequency(vtune)
         carrier_amplitude = vco.amplitude(vtune)
         noise_amplitude = self._noise.amplitude

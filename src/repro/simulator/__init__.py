@@ -7,7 +7,17 @@ from .solver import (
     SolverStats,
     add_gmin_diagonal,
     factorize,
+    gmin_diagonal,
     stats as solver_stats,
+)
+from .linalg import (
+    DirectLUSolver,
+    IterativeSolver,
+    LinearSolver,
+    ReusePatternLUSolver,
+    SolverOptions,
+    make_solver,
+    resolve_solver,
 )
 from .dc import DcOptions, DcSolution, dc_operating_point
 from .ac import AcSolution, ac_analysis
@@ -23,11 +33,16 @@ __all__ = [
     "AcSolution",
     "DcOptions",
     "DcSolution",
+    "DirectLUSolver",
     "Factorization",
+    "IterativeSolver",
+    "LinearSolver",
     "MatrixStamper",
     "MnaStructure",
+    "ReusePatternLUSolver",
     "SharedPatternPair",
     "SolutionView",
+    "SolverOptions",
     "SolverStats",
     "TransferFunction",
     "TransientOptions",
@@ -36,6 +51,9 @@ __all__ = [
     "add_gmin_diagonal",
     "dc_operating_point",
     "factorize",
+    "gmin_diagonal",
+    "make_solver",
+    "resolve_solver",
     "solve_sparse",
     "solver_stats",
     "stamp_linear_elements",

@@ -19,7 +19,8 @@ from ..errors import SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
-from .mna import MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
+from .linalg import LinearSolver, SolverOptions, resolve_solver
+from .mna import MnaStructure, SolutionView, stamp_linear_elements
 from .solver import SharedPatternPair, add_gmin_diagonal
 
 
@@ -88,16 +89,58 @@ def _ac_rhs(circuit: Circuit, structure: MnaStructure) -> np.ndarray:
     return rhs
 
 
+def run_frequency_points(pattern: SharedPatternPair, frequencies: np.ndarray,
+                         solver: LinearSolver, per_point) -> None:
+    """Evaluate ``per_point(solver_like, matrix, index)`` at every frequency.
+
+    With ``solver.options.ac_workers > 1`` the frequency points are sharded
+    across that many worker threads: each worker gets a private assembly
+    buffer (:meth:`SharedPatternPair.with_private_buffer`) and a
+    :meth:`~repro.simulator.linalg.LinearSolver.spawn`-ed solver clone whose
+    stats are merged back afterwards, so results and counters are identical
+    to the serial sweep whichever width runs it.  ``per_point`` writes its
+    result into caller-owned storage indexed by ``index``; the points are
+    independent, so write order does not matter.
+    """
+    n_workers = min(solver.options.ac_workers, len(frequencies))
+    if n_workers <= 1:
+        for index, frequency in enumerate(frequencies):
+            per_point(solver, pattern.assemble(2j * np.pi * frequency), index)
+        return
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    chunks = np.array_split(np.arange(len(frequencies)), n_workers)
+
+    def run_chunk(indices: np.ndarray) -> LinearSolver:
+        worker = solver.spawn()
+        private = pattern.with_private_buffer()
+        for index in indices:
+            matrix = private.assemble(2j * np.pi * frequencies[index])
+            per_point(worker, matrix, int(index))
+        return worker
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        for worker in pool.map(run_chunk, chunks):
+            solver.absorb(worker)
+
+
 def ac_analysis(circuit: Circuit, frequencies: np.ndarray | list[float],
                 operating_point: DcSolution | None = None,
                 dc_options: DcOptions | None = None,
-                gmin: float = 1e-12) -> AcSolution:
+                gmin: float = 1e-12,
+                solver: SolverOptions | LinearSolver | None = None
+                ) -> AcSolution:
     """Run an AC sweep over ``frequencies`` (hertz).
 
     If the circuit contains nonlinear devices and no ``operating_point`` is
-    supplied, a DC operating point is solved first.
+    supplied, a DC operating point is solved first.  ``solver`` selects the
+    linear-solver backend; ``solver.options.ac_workers`` shards the frequency
+    points of this one sweep across worker threads (results are identical to
+    the serial sweep).
     """
     circuit.validate()
+    solver = resolve_solver(solver)
     frequencies = np.asarray(list(frequencies), dtype=float)
     if frequencies.size == 0:
         raise SimulationError("AC analysis needs at least one frequency point")
@@ -106,19 +149,23 @@ def ac_analysis(circuit: Circuit, frequencies: np.ndarray | list[float],
 
     structure = MnaStructure.from_circuit(circuit)
     if operating_point is None and circuit.nonlinear_elements():
-        operating_point = dc_operating_point(circuit, dc_options)
+        operating_point = dc_operating_point(circuit, dc_options,
+                                             solver=solver)
 
     g_matrix, c_matrix = _small_signal_matrices(circuit, structure, operating_point)
     # gmin to ground on every node row keeps otherwise-floating nodes solvable.
-    g_matrix = add_gmin_diagonal(g_matrix, structure.n_nodes, gmin)
+    g_matrix = add_gmin_diagonal(g_matrix, structure.n_nodes,
+                                 solver.options.effective_gmin(gmin))
 
     # G and C share one CSC sparsity pattern; each frequency point only
     # rewrites the .data array of the preallocated (G + j*omega*C) matrix.
     pattern = SharedPatternPair(g_matrix, c_matrix)
     rhs = _ac_rhs(circuit, structure)
     vectors = np.zeros((frequencies.size, structure.size), dtype=complex)
-    for index, frequency in enumerate(frequencies):
-        matrix = pattern.assemble(2j * np.pi * frequency)
-        vectors[index] = solve_sparse(matrix, rhs, structure=structure)
+
+    def per_point(point_solver: LinearSolver, matrix, index: int) -> None:
+        vectors[index] = point_solver.solve(matrix, rhs, structure=structure)
+
+    run_frequency_points(pattern, frequencies, solver, per_point)
     return AcSolution(circuit=circuit, structure=structure,
                       frequencies=frequencies, vectors=vectors)

@@ -21,8 +21,9 @@ from ..errors import ConvergenceError
 from ..netlist.circuit import Circuit
 from ..netlist.devices import NonlinearElement
 from ..netlist.elements import CurrentSource, VoltageSource
-from .mna import MatrixStamper, MnaStructure, SolutionView, solve_sparse, stamp_linear_elements
-from .solver import add_gmin_diagonal
+from .linalg import LinearSolver, SolverOptions, resolve_solver
+from .mna import MatrixStamper, MnaStructure, SolutionView, stamp_linear_elements
+from .solver import gmin_diagonal
 
 
 @dataclass
@@ -84,7 +85,9 @@ def _fill_source_rhs(stamper: MatrixStamper, circuit: Circuit,
 
 def _newton_solve(circuit: Circuit, structure: MnaStructure,
                   linear: MatrixStamper, options: DcOptions,
-                  initial: np.ndarray, source_scale: float) -> tuple[np.ndarray, int]:
+                  initial: np.ndarray, source_scale: float,
+                  solver: LinearSolver,
+                  gmin_diag) -> tuple[np.ndarray, int]:
     """Newton iteration at a fixed source scaling; returns (solution, iterations)."""
     x = initial.copy()
     nonlinear = circuit.nonlinear_elements()
@@ -97,10 +100,13 @@ def _newton_solve(circuit: Circuit, structure: MnaStructure,
                     for name, row in structure.node_index.items()}
         for element in nonlinear:
             element.stamp_companion(stamper, voltages)
-        # gmin from every node to ground keeps floating nodes solvable.
-        matrix = add_gmin_diagonal(stamper.conductance_matrix(), n_nodes,
-                                   options.gmin)
-        x_new = solve_sparse(matrix, stamper.rhs, structure=structure)
+        # gmin from every node to ground keeps floating nodes solvable; the
+        # diagonal is built once per analysis, so every iteration pays one
+        # CSR addition instead of a format conversion.
+        matrix = stamper.conductance_matrix()
+        if gmin_diag is not None:
+            matrix = matrix + gmin_diag
+        x_new = solver.solve(matrix, stamper.rhs, structure=structure)
         delta = x_new - x
         x = x + options.damping * delta
         max_delta = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0
@@ -112,22 +118,31 @@ def _newton_solve(circuit: Circuit, structure: MnaStructure,
         f"(last max voltage update {max_delta:.3e} V)")
 
 
-def dc_operating_point(circuit: Circuit, options: DcOptions | None = None) -> DcSolution:
+def dc_operating_point(circuit: Circuit, options: DcOptions | None = None,
+                       solver: SolverOptions | LinearSolver | None = None
+                       ) -> DcSolution:
     """Solve the DC operating point of ``circuit``.
 
     Linear circuits converge in a single iteration.  For nonlinear circuits,
     plain Newton is attempted first; on failure the independent sources are
     ramped up in ``options.source_steps`` steps (source stepping).
+    ``solver`` selects the linear-solver backend (options or a shared
+    instance); the reuse-pattern backend refactorizes values only across the
+    Newton iterations, which all share one sparsity pattern.
     """
     options = options or DcOptions()
+    solver = resolve_solver(solver)
     circuit.validate()
     structure = MnaStructure.from_circuit(circuit)
     linear = stamp_linear_elements(circuit, structure)
     initial = np.zeros(structure.size)
+    gmin_diag = gmin_diagonal(structure.size, structure.n_nodes,
+                              solver.options.effective_gmin(options.gmin))
 
     try:
         vector, iterations = _newton_solve(circuit, structure, linear, options,
-                                           initial, source_scale=1.0)
+                                           initial, source_scale=1.0,
+                                           solver=solver, gmin_diag=gmin_diag)
         return DcSolution(circuit=circuit, structure=structure,
                           vector=vector, iterations=iterations)
     except ConvergenceError:
@@ -139,7 +154,8 @@ def dc_operating_point(circuit: Circuit, options: DcOptions | None = None) -> Dc
     for step in range(1, options.source_steps + 1):
         scale = step / options.source_steps
         vector, iterations = _newton_solve(circuit, structure, linear, options,
-                                           vector, source_scale=scale)
+                                           vector, source_scale=scale,
+                                           solver=solver, gmin_diag=gmin_diag)
         total_iterations += iterations
     return DcSolution(circuit=circuit, structure=structure,
                       vector=vector, iterations=total_iterations)

@@ -1,0 +1,48 @@
+"""Pluggable linear-solver backend layer.
+
+The strategy seam between "here is an assembled sparse system" and "here is
+the solution": every analysis (DC, AC, transient, transfer functions, the
+substrate Kron reduction) takes a ``solver=`` argument accepting a
+:class:`SolverOptions` (declarative, travels through campaign configs and
+cache keys) or a ready :class:`LinearSolver` instance (stateful, shares the
+reuse-pattern cache across analyses).
+
+Backends: :class:`DirectLUSolver` (SuperLU, the reference),
+:class:`ReusePatternLUSolver` (symbolic-ordering reuse across same-pattern
+factorizations), :class:`IterativeSolver` (preconditioned CG for SPD systems
+with automatic direct-LU fallback).
+"""
+
+from ..solver import SolverStats
+from .backends import (
+    DirectLUSolver,
+    IterativeSolver,
+    LinearSolver,
+    ReusePatternLUSolver,
+    make_solver,
+    resolve_solver,
+)
+from .options import (
+    BACKEND_DIRECT,
+    BACKEND_ITERATIVE,
+    BACKEND_REUSE_LU,
+    BACKENDS,
+    PRECONDITIONERS,
+    SolverOptions,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_DIRECT",
+    "BACKEND_ITERATIVE",
+    "BACKEND_REUSE_LU",
+    "DirectLUSolver",
+    "IterativeSolver",
+    "LinearSolver",
+    "PRECONDITIONERS",
+    "ReusePatternLUSolver",
+    "SolverOptions",
+    "SolverStats",
+    "make_solver",
+    "resolve_solver",
+]

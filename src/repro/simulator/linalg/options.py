@@ -1,0 +1,100 @@
+"""Declarative configuration of the pluggable linear-solver layer.
+
+:class:`SolverOptions` is the one object that travels from campaign configs
+(the ``[solver]`` TOML table) down through :class:`~repro.core.flow.FlowOptions`
+into every analysis: it picks the backend, carries the iterative tolerances
+and the per-frequency AC fan-out width, and — because it is a plain frozen
+dataclass of primitives — participates in the studies extraction-cache key
+and the persisted result sidecars without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import SimulationError
+
+#: Direct sparse LU (SuperLU) — the reference backend, always correct.
+BACKEND_DIRECT = "direct"
+#: LU that reuses the fill-reducing column ordering across factorizations of
+#: the same sparsity pattern (Newton iterations, transient steps, V_tune and
+#: frequency points), redoing only the numeric work.
+BACKEND_REUSE_LU = "reuse-lu"
+#: Preconditioned conjugate gradients for SPD systems (the substrate mesh
+#: Laplacian), with automatic fallback to direct LU on non-SPD systems or
+#: CG breakdown.
+BACKEND_ITERATIVE = "iterative"
+
+BACKENDS = (BACKEND_DIRECT, BACKEND_REUSE_LU, BACKEND_ITERATIVE)
+
+#: Preconditioner choices of the iterative backend.  "auto" resolves to AMG
+#: when :mod:`pyamg` is importable and incomplete-LU otherwise.
+PRECONDITIONERS = ("auto", "amg", "ilu", "jacobi", "none")
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Backend choice and tuning knobs of the linear-solver layer.
+
+    The defaults reproduce the historical behaviour exactly: direct LU
+    everywhere, serial AC sweeps, analysis-supplied gmin.
+
+    ``ac_workers`` and ``max_cached_patterns`` are pure parallelism / memory
+    knobs with no influence on results, so they are excluded from content
+    fingerprints (extraction-cache keys, campaign resume identity) via
+    ``__fingerprint_exclude__``.
+    """
+
+    __fingerprint_exclude__ = ("ac_workers", "max_cached_patterns")
+
+    #: one of :data:`BACKENDS`
+    backend: str = BACKEND_DIRECT
+    #: overrides the per-analysis gmin regularisation when set (siemens)
+    gmin: float | None = None
+    #: relative CG convergence tolerance (residual norm)
+    cg_rtol: float = 1e-13
+    #: absolute CG convergence tolerance
+    cg_atol: float = 0.0
+    #: CG iteration cap; 0 means the system size ``n``
+    cg_max_iterations: int = 0
+    #: one of :data:`PRECONDITIONERS`
+    preconditioner: str = "auto"
+    #: drop tolerance of the incomplete-LU preconditioner
+    ilu_drop_tol: float = 1e-5
+    #: fill factor of the incomplete-LU preconditioner
+    ilu_fill_factor: float = 20.0
+    #: fall back to direct LU on non-SPD systems / CG breakdown (recommended);
+    #: when False those cases raise :class:`~repro.errors.SimulationError`
+    iterative_fallback: bool = True
+    #: symbolic analyses the reuse-lu backend keeps cached (LRU)
+    max_cached_patterns: int = 8
+    #: worker threads sharding the frequency points of one AC sweep
+    ac_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown solver backend {self.backend!r}; "
+                f"choose one of {', '.join(BACKENDS)}")
+        if self.preconditioner not in PRECONDITIONERS:
+            raise SimulationError(
+                f"unknown preconditioner {self.preconditioner!r}; "
+                f"choose one of {', '.join(PRECONDITIONERS)}")
+        if self.gmin is not None and self.gmin < 0.0:
+            raise SimulationError("solver gmin must be >= 0")
+        if self.cg_rtol <= 0.0:
+            raise SimulationError("cg_rtol must be positive")
+        if self.cg_atol < 0.0:
+            raise SimulationError("cg_atol must be >= 0")
+        if self.cg_max_iterations < 0:
+            raise SimulationError("cg_max_iterations must be >= 0")
+        if self.ilu_fill_factor < 1.0:
+            raise SimulationError("ilu_fill_factor must be >= 1")
+        if self.max_cached_patterns < 1:
+            raise SimulationError("max_cached_patterns must be >= 1")
+        if self.ac_workers < 1:
+            raise SimulationError("ac_workers must be >= 1")
+
+    def effective_gmin(self, analysis_default: float) -> float:
+        """The gmin to use: this object's override, or the analysis default."""
+        return analysis_default if self.gmin is None else self.gmin

@@ -234,13 +234,21 @@ def stamp_linear_elements(circuit: Circuit,
 
 
 def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
-                 structure: MnaStructure | None = None) -> np.ndarray:
+                 structure: MnaStructure | None = None,
+                 solver=None) -> np.ndarray:
     """Solve a sparse linear system, raising :class:`SimulationError` on failure.
 
     Thin wrapper around :func:`repro.simulator.solver.solve_sparse`, kept here
     because this module historically owned the one-shot solve.  Passing the
-    ``structure`` lets singular-matrix errors name the offending node.
+    ``structure`` lets singular-matrix errors name the offending node; a
+    ``solver`` (:class:`~repro.simulator.linalg.SolverOptions` or a
+    :class:`~repro.simulator.linalg.LinearSolver`) routes the solve through
+    the pluggable backend layer instead of the default direct path.
     """
+    if solver is not None:
+        from .linalg import resolve_solver
+
+        return resolve_solver(solver).solve(matrix, rhs, structure=structure)
     return _solver.solve_sparse(matrix, rhs, structure=structure)
 
 

@@ -12,10 +12,12 @@ and "here is the solution vector":
   sparsity pattern so an AC sweep can assemble ``G + s*C`` per frequency by
   combining ``.data`` arrays in place, never reallocating matrix structure.
 * :func:`solve_sparse` — one-shot solve with proper singular-matrix
-  diagnostics: :class:`scipy.sparse.linalg.MatrixRankWarning` is promoted to
+  diagnostics: an exactly singular factorization becomes a
   :class:`~repro.errors.SimulationError` (naming the offending node when the
   MNA structure is available) and a finite-check backstop catches anything
-  that slips through.
+  that slips through.  No warnings-filter mutation anywhere in the layer —
+  the interpreter-global filter list is not thread-safe, and the AC
+  per-frequency fan-out solves from worker threads.
 * :func:`add_gmin_diagonal` — the vectorized "gmin from every node to
   ground" regularisation shared by the DC, AC and transient analyses.
 
@@ -26,7 +28,6 @@ transient performs exactly one factorization regardless of step count.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,17 +39,46 @@ from ..errors import SimulationError
 
 @dataclass
 class SolverStats:
-    """Counters of the expensive solver operations (for tests / benchmarks)."""
+    """Counters of the expensive solver operations (for tests / benchmarks).
 
-    factorizations: int = 0
-    solves: int = 0
+    Every :class:`~repro.simulator.linalg.LinearSolver` instance owns one of
+    these, so parallel workers (e.g. the per-frequency AC fan-out) each count
+    into their own instance and are aggregated afterwards with :meth:`merge`
+    instead of racing on a shared global.  ``backend`` names the solver
+    backend that produced the counts; the iterative backend additionally
+    records its CG traffic and direct-LU fallbacks.
+    """
+
+    factorizations: int = 0     #: numeric factorizations (LU or precond setup)
+    solves: int = 0             #: triangular / CG solve calls
+    pattern_reuses: int = 0     #: value-only refactorizations (reuse-lu)
+    cg_solves: int = 0          #: right-hand sides solved by CG
+    cg_iterations: int = 0      #: total CG iterations over all solves
+    fallbacks: int = 0          #: iterative requests that fell back to LU
+    backend: str = ""           #: backend name ("" for the module-level global)
+
+    _COUNTERS = ("factorizations", "solves", "pattern_reuses",
+                 "cg_solves", "cg_iterations", "fallbacks")
 
     def reset(self) -> None:
-        self.factorizations = 0
-        self.solves = 0
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def merge(self, other: "SolverStats") -> None:
+        """Fold a worker's counters into this instance (``backend`` is kept)."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int | str]:
+        record: dict[str, int | str] = {name: getattr(self, name)
+                                        for name in self._COUNTERS}
+        record["backend"] = self.backend
+        return record
 
 
 #: Global solver counters; ``stats.reset()`` before a run to measure it.
+#: Solver instances mirror their counts here (single-threaded paths only);
+#: fan-out workers use per-instance stats merged at the end instead.
 stats = SolverStats()
 
 
@@ -93,25 +123,30 @@ class Factorization:
     factorization is solved as two real solves).
     """
 
-    def __init__(self, matrix: sp.spmatrix, structure=None):
+    def __init__(self, matrix: sp.spmatrix, structure=None,
+                 sinks: tuple[SolverStats, ...] | None = None):
         if matrix.shape[0] != matrix.shape[1]:
             raise SimulationError("MNA matrix must be square")
         self.shape = matrix.shape
         self._structure = structure
+        self._sinks = (stats,) if sinks is None else tuple(sinks)
         self._matrix = sp.csc_matrix(matrix)
         self._complex = np.iscomplexobj(self._matrix.data)
         if self.shape[0] == 0:
             self._lu = None
         else:
+            # splu signals an exactly singular matrix with a RuntimeError
+            # (no warning machinery involved — the solver layer must stay
+            # free of warnings-filter mutation, which is interpreter-global
+            # and not thread-safe under the per-frequency AC fan-out).
             try:
-                with warnings.catch_warnings():
-                    warnings.simplefilter("error", spla.MatrixRankWarning)
-                    self._lu = spla.splu(self._matrix)
-            except (RuntimeError, spla.MatrixRankWarning) as exc:
+                self._lu = spla.splu(self._matrix)
+            except RuntimeError as exc:
                 raise SimulationError(
                     f"sparse factorization failed: {exc}"
                     + _singular_hint(self._matrix, structure)) from exc
-        stats.factorizations += 1
+        for sink in self._sinks:
+            sink.factorizations += 1
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` using the cached factorization."""
@@ -126,8 +161,11 @@ class Factorization:
             solution = (self._lu.solve(np.ascontiguousarray(rhs.real))
                         + 1j * self._lu.solve(np.ascontiguousarray(rhs.imag)))
         else:
+            if self._complex and not np.iscomplexobj(rhs):
+                rhs = rhs.astype(complex)
             solution = self._lu.solve(np.ascontiguousarray(rhs))
-        stats.solves += 1
+        for sink in self._sinks:
+            sink.solves += 1
         return _check_finite(solution, self._matrix, self._structure)
 
 
@@ -137,35 +175,41 @@ def factorize(matrix: sp.spmatrix, structure=None) -> Factorization:
 
 
 def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray,
-                 structure=None) -> np.ndarray:
+                 structure=None,
+                 sinks: tuple[SolverStats, ...] | None = None) -> np.ndarray:
     """One-shot sparse solve raising :class:`SimulationError` on failure.
 
-    ``spsolve`` signals singular matrices via ``MatrixRankWarning`` plus a
-    NaN-filled result rather than an exception; the warning is promoted to a
+    An exactly singular matrix fails the factorization with a
     :class:`SimulationError` naming the offending node when ``structure``
-    (an :class:`~repro.simulator.mna.MnaStructure`) is available.  The
+    (an :class:`~repro.simulator.mna.MnaStructure`) is available; the
     finite-check stays as a backstop for near-singular systems that solve
-    without warning.
+    without error.  Counts one ``solve`` (and no ``factorization``) in the
+    stats, matching the historical one-shot-solve semantics.
     """
     if matrix.shape[0] != matrix.shape[1]:
         raise SimulationError("MNA matrix must be square")
     if matrix.shape[0] == 0:
         return np.zeros(0, dtype=rhs.dtype)
-    csc = sp.csc_matrix(matrix)
-    try:
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", spla.MatrixRankWarning)
-            solution = spla.spsolve(csc, rhs)
-    except spla.MatrixRankWarning as exc:
-        raise SimulationError(
-            "sparse solve failed: matrix is singular"
-            + _singular_hint(csc, structure)) from exc
-    except RuntimeError as exc:
-        raise SimulationError(f"sparse solve failed: {exc}"
-                              + _singular_hint(csc, structure)) from exc
-    stats.solves += 1
-    solution = np.atleast_1d(solution)
-    return _check_finite(solution, csc, structure)
+    solution = Factorization(matrix, structure=structure, sinks=()).solve(rhs)
+    for sink in (stats,) if sinks is None else sinks:
+        sink.solves += 1
+    return np.atleast_1d(solution)
+
+
+def gmin_diagonal(size: int, n_nodes: int,
+                  gmin: float) -> sp.csr_matrix | None:
+    """The reusable ``gmin``-to-ground diagonal matrix, or ``None`` for a no-op.
+
+    Newton loops build this once and add it per iteration, so the
+    regularisation costs one CSR addition per solve instead of a format
+    conversion plus diagonal construction (which matters once the
+    reuse-pattern LU backend has made refactorizations cheap).
+    """
+    if gmin <= 0.0 or n_nodes <= 0:
+        return None
+    diagonal = np.zeros(size)
+    diagonal[:n_nodes] = gmin
+    return sp.diags(diagonal, format="csr")
 
 
 def add_gmin_diagonal(matrix: sp.spmatrix, n_nodes: int,
@@ -173,13 +217,15 @@ def add_gmin_diagonal(matrix: sp.spmatrix, n_nodes: int,
     """Add ``gmin`` from every node to ground in one vectorized operation.
 
     Only the first ``n_nodes`` rows (the node equations) receive the shunt;
-    branch-current rows are left untouched.  Returns CSR.
+    branch-current rows are left untouched.  Returns CSR; a matrix that is
+    already CSR is not re-canonicalized (the no-op path returns it as-is).
     """
-    if gmin <= 0.0 or n_nodes <= 0:
-        return sp.csr_matrix(matrix)
-    diagonal = np.zeros(matrix.shape[0])
-    diagonal[:n_nodes] = gmin
-    return (sp.csr_matrix(matrix) + sp.diags(diagonal, format="csr")).tocsr()
+    base = matrix if sp.issparse(matrix) and matrix.format == "csr" \
+        else sp.csr_matrix(matrix)
+    diagonal = gmin_diagonal(matrix.shape[0], n_nodes, gmin)
+    if diagonal is None:
+        return base
+    return base + diagonal
 
 
 class SharedPatternPair:
@@ -243,3 +289,21 @@ class SharedPatternPair:
         np.multiply(self.c_data, s, out=self._matrix.data)
         self._matrix.data += self.g_data
         return self._matrix
+
+    def with_private_buffer(self) -> "SharedPatternPair":
+        """A clone whose :meth:`assemble` writes into its own data buffer.
+
+        The (immutable) ``g_data`` / ``c_data`` arrays and the sparsity
+        structure are shared with the parent; only the assembly target is
+        fresh.  This is what lets the per-frequency AC fan-out hand each
+        worker thread its own assembly scratch without re-deriving the union
+        pattern.
+        """
+        clone = object.__new__(SharedPatternPair)
+        clone.g_data = self.g_data
+        clone.c_data = self.c_data
+        clone._matrix = sp.csc_matrix(
+            (np.zeros(self._matrix.nnz, dtype=complex),
+             self._matrix.indices, self._matrix.indptr),
+            shape=self._matrix.shape)
+        return clone

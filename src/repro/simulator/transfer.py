@@ -32,8 +32,9 @@ from ..errors import SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.elements import CurrentSource, SourceValue, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
+from .linalg import LinearSolver, SolverOptions, resolve_solver
 from .mna import MnaStructure
-from .solver import SharedPatternPair, add_gmin_diagonal, factorize
+from .solver import SharedPatternPair, add_gmin_diagonal
 
 
 @dataclass
@@ -101,14 +102,19 @@ def transfer_functions(circuit: Circuit, source_names: Sequence[str],
                        frequencies: np.ndarray | list[float],
                        operating_point: DcSolution | None = None,
                        dc_options: DcOptions | None = None,
-                       gmin: float = 1e-12) -> dict[str, TransferFunction]:
+                       gmin: float = 1e-12,
+                       solver: SolverOptions | LinearSolver | None = None
+                       ) -> dict[str, TransferFunction]:
     """Compute ``V(node)/source`` for every (source, node) combination.
 
     All sources are solved *batched*: per frequency point the complex system
     ``(G + j*omega*C)`` is assembled on a shared sparsity pattern and
     factorized once, then every source's unit-drive right-hand side is solved
-    through that single factorization as one multi-RHS block.  Returns a
-    mapping ``source name -> TransferFunction`` (V/V for voltage sources,
+    through that single factorization as one multi-RHS block.  ``solver``
+    selects the linear-solver backend; ``solver.options.ac_workers`` shards
+    the frequency points across worker threads, exactly like
+    :func:`~repro.simulator.ac.ac_analysis`.  Returns a mapping
+    ``source name -> TransferFunction`` (V/V for voltage sources,
     V/A for current sources).
     """
     if not observe_nodes:
@@ -116,6 +122,7 @@ def transfer_functions(circuit: Circuit, source_names: Sequence[str],
     if not source_names:
         raise SimulationError("at least one source name is required")
     circuit.validate()
+    solver = resolve_solver(solver)
     frequencies = np.asarray(list(frequencies), dtype=float)
     if frequencies.size == 0:
         raise SimulationError("transfer analysis needs at least one frequency")
@@ -131,15 +138,17 @@ def transfer_functions(circuit: Circuit, source_names: Sequence[str],
 
     structure = MnaStructure.from_circuit(circuit)
     if operating_point is None and circuit.nonlinear_elements():
-        operating_point = dc_operating_point(circuit, dc_options)
+        operating_point = dc_operating_point(circuit, dc_options,
+                                             solver=solver)
 
     # The small-signal matrices depend on the operating point only, never on
     # the sources' AC values, so they are built once for all sources.
-    from .ac import _ac_rhs, _small_signal_matrices
+    from .ac import _ac_rhs, _small_signal_matrices, run_frequency_points
 
     g_matrix, c_matrix = _small_signal_matrices(circuit, structure,
                                                 operating_point)
-    g_matrix = add_gmin_diagonal(g_matrix, structure.n_nodes, gmin)
+    g_matrix = add_gmin_diagonal(g_matrix, structure.n_nodes,
+                                 solver.options.effective_gmin(gmin))
     pattern = SharedPatternPair(g_matrix, c_matrix)
 
     vectors = np.zeros((frequencies.size, structure.size, len(source_names)),
@@ -153,10 +162,12 @@ def transfer_functions(circuit: Circuit, source_names: Sequence[str],
             drive(name)
             rhs_block[:, column] = _ac_rhs(circuit, structure)
 
-        for index, frequency in enumerate(frequencies):
-            matrix = pattern.assemble(2j * np.pi * frequency)
-            factorization = factorize(matrix, structure=structure)
+        def per_point(point_solver: LinearSolver, matrix, index: int) -> None:
+            factorization = point_solver.factorize(matrix,
+                                                   structure=structure)
             vectors[index] = factorization.solve(rhs_block)
+
+        run_frequency_points(pattern, frequencies, solver, per_point)
 
     results: dict[str, TransferFunction] = {}
     for column, name in enumerate(source_names):
@@ -176,7 +187,9 @@ def transfer_function(circuit: Circuit, source_name: str,
                       frequencies: np.ndarray | list[float],
                       operating_point: DcSolution | None = None,
                       dc_options: DcOptions | None = None,
-                      gmin: float = 1e-12) -> TransferFunction:
+                      gmin: float = 1e-12,
+                      solver: SolverOptions | LinearSolver | None = None
+                      ) -> TransferFunction:
     """Compute ``V(node)/source`` for each node in ``observe_nodes``.
 
     The drive is applied as a unit AC excitation on the named independent
@@ -189,4 +202,5 @@ def transfer_function(circuit: Circuit, source_name: str,
     """
     return transfer_functions(circuit, [source_name], observe_nodes,
                               frequencies, operating_point=operating_point,
-                              dc_options=dc_options, gmin=gmin)[source_name]
+                              dc_options=dc_options, gmin=gmin,
+                              solver=solver)[source_name]

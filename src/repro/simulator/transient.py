@@ -33,8 +33,9 @@ from ..errors import ConvergenceError, SimulationError
 from ..netlist.circuit import Circuit
 from ..netlist.elements import CurrentSource, VoltageSource
 from .dc import DcOptions, DcSolution, dc_operating_point
-from .mna import MatrixStamper, MnaStructure, solve_sparse, stamp_linear_elements
-from .solver import Factorization, add_gmin_diagonal
+from .linalg import LinearSolver, SolverOptions, resolve_solver
+from .mna import MatrixStamper, MnaStructure, stamp_linear_elements
+from .solver import add_gmin_diagonal
 
 
 @dataclass
@@ -116,13 +117,18 @@ def _nonlinear_contributions(circuit: Circuit, structure: MnaStructure,
 def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
                        operating_point: DcSolution | None = None,
                        options: TransientOptions | None = None,
-                       dc_options: DcOptions | None = None) -> TransientSolution:
+                       dc_options: DcOptions | None = None,
+                       solver: SolverOptions | LinearSolver | None = None
+                       ) -> TransientSolution:
     """Integrate the circuit from 0 to ``t_stop`` with a fixed ``timestep``.
 
     The initial condition is the DC operating point (sources at their DC/
-    time-zero values).
+    time-zero values).  ``solver`` selects the linear-solver backend; the
+    reuse-pattern backend refactorizes values only across the Newton solves
+    of a nonlinear integration (every step shares one sparsity pattern).
     """
     options = options or TransientOptions()
+    solver = resolve_solver(solver)
     circuit.validate()
     if t_stop <= 0 or timestep <= 0:
         raise SimulationError("t_stop and timestep must be positive")
@@ -132,11 +138,13 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
 
     structure = MnaStructure.from_circuit(circuit)
     if operating_point is None:
-        operating_point = dc_operating_point(circuit, dc_options)
+        operating_point = dc_operating_point(circuit, dc_options,
+                                             solver=solver)
 
     linear = stamp_linear_elements(circuit, structure)
     g_lin = add_gmin_diagonal(linear.conductance_matrix(),
-                              structure.n_nodes, options.gmin)
+                              structure.n_nodes,
+                              solver.options.effective_gmin(options.gmin))
     c_lin = linear.capacitance_matrix()
 
     # Freeze the reactive part of the nonlinear devices at the operating point.
@@ -172,7 +180,7 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
 
     if not nonlinear:
         # Constant LHS: factorize exactly once for the whole time grid.
-        lu = Factorization(lhs_matrix, structure=structure)
+        lu = solver.factorize(lhs_matrix, structure=structure)
         for step in range(1, n_steps + 1):
             rhs_total = history_matrix @ vectors[step - 1]
             if use_trap:
@@ -194,7 +202,7 @@ def transient_analysis(circuit: Circuit, t_stop: float, timestep: float,
                 companion = _nonlinear_contributions(circuit, structure, x)
                 matrix = (lhs_matrix + companion.conductance_matrix()).tocsr()
                 rhs_total = base_rhs + companion.rhs
-                x_new = solve_sparse(matrix, rhs_total, structure=structure)
+                x_new = solver.solve(matrix, rhs_total, structure=structure)
                 delta = np.max(np.abs(x_new[:structure.n_nodes] - x[:structure.n_nodes])) \
                     if structure.n_nodes else 0.0
                 x = x_new

@@ -58,8 +58,15 @@ def _canonical(obj, out: list[bytes]) -> None:
     elif isinstance(obj, np.generic):
         _canonical(obj.item(), out)
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # A dataclass may exclude result-neutral fields (pure parallelism /
+        # memory knobs) from its content identity via __fingerprint_exclude__,
+        # so e.g. changing SolverOptions.ac_workers does not invalidate
+        # cached extractions or refuse campaign resumes.
+        excluded = getattr(type(obj), "__fingerprint_exclude__", ())
         out.append(f"dc:{type(obj).__qualname__}(".encode())
         for field in dataclasses.fields(obj):
+            if field.name in excluded:
+                continue
             out.append(f"{field.name}=".encode())
             _canonical(getattr(obj, field.name), out)
         out.append(b");")

@@ -36,12 +36,20 @@ supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
     nx = 40
     ny = 40
 
+    [solver]                    # linear-solver backend (SolverOptions)
+    backend = "reuse-lu"        # "direct" | "reuse-lu" | "iterative"
+    ac_workers = 1              # per-frequency fan-out inside one AC sweep
+
     [execution]                 # defaults for the CLI flags
     backend = "serial"          # or "process-pool"
     workers = 2
     retries = 0
     cache_dir = ".repro-cache"
     result = "fig8_result.npz"
+
+The ``[solver]`` table participates in the extraction-cache key (two
+campaigns differing only in solver backend or tolerances never share cached
+extractions) and is recorded in the result's ``.meta.json`` sidecar.
 """
 
 from __future__ import annotations
@@ -191,7 +199,8 @@ def load_campaign_config(path: str | Path) -> CampaignConfig:
     data = _read_config_data(path)
     if not isinstance(data, dict):
         raise AnalysisError(f"campaign config {path} must be a table/object")
-    _check_table(data, ("name", "axes", "layout", "options", "execution"),
+    _check_table(data,
+                 ("name", "axes", "layout", "options", "solver", "execution"),
                  "top level")
 
     axes_table = data.get("axes")
@@ -219,6 +228,19 @@ def load_campaign_config(path: str | Path) -> CampaignConfig:
         _check_table(mesh_table, mesh_fields, "options.mesh")
         options = replace(options, flow=replace(
             options.flow, substrate=replace(substrate, **mesh_table)))
+
+    solver_table = dict(data.get("solver") or {})
+    if solver_table:
+        from ..simulator.linalg import SolverOptions
+
+        _check_table(solver_table,
+                     tuple(f.name for f in fields(SolverOptions)), "solver")
+        try:
+            solver_options = SolverOptions(**solver_table)
+        except TypeError as exc:             # e.g. a quoted number in TOML
+            raise AnalysisError(f"invalid [solver] value: {exc}") from exc
+        options = replace(options, flow=replace(
+            options.flow, solver=solver_options))
 
     execution_table = dict(data.get("execution") or {})
     _check_table(execution_table,

@@ -255,6 +255,7 @@ class Campaign:
                 "tail_bias_voltage": options.tail_bias_voltage,
                 "output_load": options.output_load,
                 "substrate_mesh": asdict(options.flow.substrate),
+                "solver": asdict(options.flow.solver),
             },
             "n_points": self.n_points,
         }

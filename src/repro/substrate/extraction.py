@@ -184,9 +184,16 @@ def identify_ports(cell: Cell, technology: ProcessTechnology) -> list[SubstrateP
 
 
 def extract_substrate(cell: Cell, technology: ProcessTechnology,
-                      options: SubstrateExtractionOptions | None = None
-                      ) -> SubstrateExtraction:
-    """Run the full substrate extraction for a layout cell."""
+                      options: SubstrateExtractionOptions | None = None,
+                      solver=None) -> SubstrateExtraction:
+    """Run the full substrate extraction for a layout cell.
+
+    ``solver`` (a :class:`~repro.simulator.linalg.SolverOptions` or
+    :class:`~repro.simulator.linalg.LinearSolver`) selects the backend for
+    the mesh solve of the Kron reduction — the dominant cost of the
+    extraction, and an SPD system the iterative backend can handle on meshes
+    too large for a direct LU.
+    """
     options = options or SubstrateExtractionOptions()
     ports = identify_ports(cell, technology)
 
@@ -233,7 +240,7 @@ def extract_substrate(cell: Cell, technology: ProcessTechnology,
                            for node, area in sorted(overlaps.items())])
 
     macromodel = kron_reduce(conductance, port_nodes,
-                             [port.name for port in ports])
+                             [port.name for port in ports], solver=solver)
     return SubstrateExtraction(cell_name=cell.name, ports=ports,
                                macromodel=macromodel,
                                mesh_nodes=mesh.n_nodes)

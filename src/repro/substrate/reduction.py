@@ -22,7 +22,7 @@ import scipy.sparse as sp
 
 from ..errors import ExtractionError, SimulationError
 from ..netlist.circuit import Circuit
-from ..simulator.solver import Factorization
+from ..simulator.linalg import LinearSolver, SolverOptions, resolve_solver
 
 
 @dataclass
@@ -138,7 +138,9 @@ class SubstrateMacromodel:
 def kron_reduce(conductance: sp.spmatrix,
                 port_nodes: list[list[int]] | list[list[tuple[int, float]]],
                 port_names: list[str],
-                port_contact_conductance: list[float] | None = None) -> SubstrateMacromodel:
+                port_contact_conductance: list[float] | None = None,
+                solver: "SolverOptions | LinearSolver | None" = None
+                ) -> SubstrateMacromodel:
     """Reduce a mesh conductance matrix to its port-level macromodel.
 
     Parameters
@@ -158,6 +160,13 @@ def kron_reduce(conductance: sp.spmatrix,
         holds plain indices (``None`` means an ideal connection, implemented
         as a very large conductance).  Ignored for ``(node, conductance)``
         pairs.
+    solver:
+        Linear-solver backend for the internal-block solve
+        (:class:`~repro.simulator.linalg.SolverOptions` or a ready
+        :class:`~repro.simulator.linalg.LinearSolver`).  The regularised
+        internal matrix is symmetric positive definite, which makes this the
+        prime target of the ``iterative`` (CG + incomplete-factorization)
+        backend on meshes where a direct LU stops fitting.
 
     Returns
     -------
@@ -208,10 +217,10 @@ def kron_reduce(conductance: sp.spmatrix,
     y_ii = (sp.csc_matrix(conductance)
             + sp.diags(internal_diagonal + 1e-12, format="csc"))
 
-    # One LU factorization of Y_ii, one multi-RHS solve against every port
-    # column at once.
+    # One factorization (or preconditioner setup) of Y_ii, one multi-RHS
+    # solve against every port column at once.
     try:
-        solved = Factorization(y_ii).solve(y_ip)
+        solved = resolve_solver(solver).factorize(y_ii).solve(y_ip)
     except SimulationError as exc:
         raise ExtractionError(f"substrate reduction failed: {exc}") from exc
     reduced = y_pp - y_ip.T @ solved

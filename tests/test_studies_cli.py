@@ -134,6 +134,50 @@ def test_config_rejects_unknown_keys(tmp_path):
         load_campaign_config(path)
 
 
+def test_solver_table_selects_backend(tmp_path):
+    config = dict(TINY_CONFIG,
+                  solver={"backend": "reuse-lu", "ac_workers": 2,
+                          "cg_rtol": 1e-11})
+    path = tmp_path / "solver.json"
+    path.write_text(json.dumps(config))
+    campaign = load_campaign_config(path).campaign
+    solver = campaign.options.flow.solver
+    assert solver.backend == "reuse-lu"
+    assert solver.ac_workers == 2
+    assert solver.cg_rtol == 1e-11
+    # The sidecar-bound description records the solver table verbatim.
+    assert campaign.describe()["options"]["solver"]["backend"] == "reuse-lu"
+
+
+def test_solver_table_rejects_unknown_keys_and_backends(tmp_path):
+    path = tmp_path / "bad_solver.json"
+    path.write_text(json.dumps(dict(TINY_CONFIG,
+                                    solver={"no_such_option": 1})))
+    with pytest.raises(AnalysisError, match="no_such_option"):
+        load_campaign_config(path)
+    path.write_text(json.dumps(dict(TINY_CONFIG,
+                                    solver={"backend": "cholesky"})))
+    with pytest.raises(Exception, match="cholesky"):
+        load_campaign_config(path)
+    # A wrong-typed value (a quoted number) is a clean config error, not a
+    # TypeError traceback.
+    path.write_text(json.dumps(dict(TINY_CONFIG,
+                                    solver={"ac_workers": "2"})))
+    with pytest.raises(AnalysisError, match="invalid \\[solver\\]"):
+        load_campaign_config(path)
+
+
+def test_solver_table_changes_campaign_fingerprint(tmp_path):
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(TINY_CONFIG))
+    tuned_path = tmp_path / "tuned.json"
+    tuned_path.write_text(json.dumps(dict(
+        TINY_CONFIG, solver={"backend": "iterative", "cg_rtol": 1e-9})))
+    base = load_campaign_config(base_path).campaign
+    tuned = load_campaign_config(tuned_path).campaign
+    assert base.fingerprint() != tuned.fingerprint()
+
+
 def test_missing_config_is_a_clean_error(tmp_path, capsys):
     rc = main(["run", str(tmp_path / "absent.toml")])
     assert rc == 2
