@@ -3,9 +3,18 @@
 Every stage of the methodology (layout handling, extraction, simulation,
 analysis) raises a subclass of :class:`ReproError`, so callers can catch the
 library's failures without masking programming errors.
+
+Campaign execution adds a structured failure layer on top: an exhausted sweep
+corner is described by a :class:`CornerFailure` record (exception type,
+attempt count, traceback summary), and campaign-level aborts raise
+:class:`CampaignError` carrying those records as a payload — so the CLI and
+tests branch on failure *kind* (``except TaskTimeoutError`` / ``exc.failures``)
+instead of string-matching messages.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -38,3 +47,47 @@ class ConvergenceError(SimulationError):
 
 class AnalysisError(ReproError):
     """Post-processing (spectrum, spur extraction, comparison) failed."""
+
+
+@dataclass(frozen=True)
+class CornerFailure:
+    """Structured record of one sweep corner that exhausted its attempts.
+
+    Stored inside :class:`~repro.studies.results.SweepResult` (and its JSON
+    sidecar) when the campaign's failure policy keeps partial results instead
+    of aborting; ``repro-campaign show`` lists these and ``resume`` re-runs
+    exactly these corners.
+    """
+
+    corner_label: str           #: human-readable corner identity
+    error_type: str             #: exception class name (e.g. "ConvergenceError")
+    message: str                #: exception message (truncated)
+    attempts: int               #: attempts spent before giving up
+    timed_out: bool = False     #: True when the corner tripped ``task_timeout``
+    traceback_summary: str = ""  #: last few frames of the original traceback
+    variant_index: int = -1     #: layout variant (-1 when not a sweep corner)
+    injected_power_dbm: float = float("nan")
+    vtune: float = float("nan")
+
+
+class CampaignError(AnalysisError):
+    """A sweep campaign could not complete under its failure policy.
+
+    ``failures`` carries the structured :class:`CornerFailure` records of the
+    corners that caused the abort (empty when the error is not corner-shaped,
+    e.g. a broken configuration).  Subclasses :class:`AnalysisError`, so
+    pre-existing callers that catch the broad class keep working.
+    """
+
+    def __init__(self, message: str,
+                 failures: "tuple[CornerFailure, ...] | list[CornerFailure]" = ()):
+        super().__init__(message)
+        self.failures: list[CornerFailure] = list(failures)
+
+
+class TaskTimeoutError(CampaignError, TimeoutError):
+    """A sweep task exceeded its wall-clock ``task_timeout``.
+
+    Also a :class:`TimeoutError`, so generic timeout handling
+    (``except TimeoutError``) catches it without importing this module.
+    """

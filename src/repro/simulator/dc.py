@@ -1,14 +1,28 @@
-"""DC operating-point analysis (Newton-Raphson).
+"""DC operating-point analysis (Newton-Raphson with a continuation ladder).
 
 The operating point is the starting point of every impact simulation: the
 small-signal parameters of the MOSFETs (gm, gds, gmb) and the varactor
 capacitances — and therefore the sensitivity of the circuit to substrate
 noise — are evaluated at the DC solution.
 
-The solver uses plain Newton-Raphson with source stepping as a fallback:
-if the full-source solve fails to converge, the independent sources are
-ramped from zero in a few steps, using each converged solution as the next
-initial guess.
+The solver uses plain Newton-Raphson backed by a two-rung continuation
+(homotopy) ladder, so exotic corners degrade gracefully instead of raising
+:class:`~repro.errors.ConvergenceError` at the first stumble:
+
+1. **plain Newton** from a zero initial guess — converges in one iteration
+   for linear circuits and a handful for the paper's testbenches;
+2. **gmin stepping** — the solve is repeated with a large conductance from
+   every node to ground (``gmin_start``), which makes the Jacobian strongly
+   diagonally dominant, then the conductance is relaxed geometrically down
+   to the target gmin, warm-starting each rung with the previous solution;
+3. **source stepping** — the independent sources are ramped from zero in a
+   few steps, using each converged solution as the next initial guess.
+
+The strategy that finally converged is recorded on the
+:class:`DcSolution` (``strategy``) and counted into
+:class:`~repro.simulator.solver.SolverStats` (``dc_gmin_steps`` /
+``dc_source_steps``), so campaign results can surface which corners only
+converged via the ladder.
 """
 
 from __future__ import annotations
@@ -34,6 +48,9 @@ class DcSolution:
     structure: MnaStructure
     vector: np.ndarray
     iterations: int
+    #: how the solve converged: "newton" (plain), "gmin-stepping" or
+    #: "source-stepping" — anything but "newton" is a graceful degradation
+    strategy: str = "newton"
 
     def voltage(self, node: str) -> float:
         return float(SolutionView(self.structure, self.vector).voltage(node))
@@ -63,6 +80,8 @@ class DcOptions:
     damping: float = 1.0            #: Newton step scaling (1.0 = full step)
     source_steps: int = 8           #: ramp steps used by the source-stepping fallback
     gmin: float = 1e-12             #: conductance added from every node to ground
+    gmin_steps: int = 6             #: rungs of the gmin-stepping continuation ladder
+    gmin_start: float = 1e-3        #: starting (heavily regularised) ladder gmin
 
 
 def _fill_source_rhs(stamper: MatrixStamper, circuit: Circuit,
@@ -118,14 +137,35 @@ def _newton_solve(circuit: Circuit, structure: MnaStructure,
         f"(last max voltage update {max_delta:.3e} V)")
 
 
+def _gmin_ladder(start: float, target: float, steps: int) -> list[float]:
+    """Decreasing intermediate gmin rungs from ``start`` down to ``target``.
+
+    The returned rungs exclude the target itself (the final solve always
+    runs at the analysis gmin, so a ladder-converged solution satisfies the
+    exact same system as a plain-Newton one).  A non-positive target relaxes
+    toward a tiny positive floor instead — the final unregularised solve
+    still runs afterwards.
+    """
+    if steps < 1 or start <= 0.0:
+        return []
+    floor = target if target > 0.0 else 1e-15
+    if start <= floor:
+        return [start]
+    return [float(g) for g in np.geomspace(start, floor, steps + 1)[:-1]]
+
+
 def dc_operating_point(circuit: Circuit, options: DcOptions | None = None,
                        solver: SolverOptions | LinearSolver | None = None
                        ) -> DcSolution:
     """Solve the DC operating point of ``circuit``.
 
     Linear circuits converge in a single iteration.  For nonlinear circuits,
-    plain Newton is attempted first; on failure the independent sources are
-    ramped up in ``options.source_steps`` steps (source stepping).
+    plain Newton is attempted first; on failure the continuation ladder runs
+    gmin stepping (``options.gmin_steps`` rungs from ``options.gmin_start``
+    down to the analysis gmin) and then source stepping
+    (``options.source_steps`` ramp steps).  The winning strategy is recorded
+    on the returned :class:`DcSolution` and the ladder rungs are counted
+    into the solver's :class:`~repro.simulator.solver.SolverStats`.
     ``solver`` selects the linear-solver backend (options or a shared
     instance); the reuse-pattern backend refactorizes values only across the
     Newton iterations, which all share one sparsity pattern.
@@ -136,26 +176,62 @@ def dc_operating_point(circuit: Circuit, options: DcOptions | None = None,
     structure = MnaStructure.from_circuit(circuit)
     linear = stamp_linear_elements(circuit, structure)
     initial = np.zeros(structure.size)
-    gmin_diag = gmin_diagonal(structure.size, structure.n_nodes,
-                              solver.options.effective_gmin(options.gmin))
+    target_gmin = solver.options.effective_gmin(options.gmin)
+    gmin_diag = gmin_diagonal(structure.size, structure.n_nodes, target_gmin)
+
+    def newton(guess, scale, diag):
+        return _newton_solve(circuit, structure, linear, options, guess,
+                             source_scale=scale, solver=solver,
+                             gmin_diag=diag)
 
     try:
-        vector, iterations = _newton_solve(circuit, structure, linear, options,
-                                           initial, source_scale=1.0,
-                                           solver=solver, gmin_diag=gmin_diag)
+        vector, iterations = newton(initial, 1.0, gmin_diag)
         return DcSolution(circuit=circuit, structure=structure,
-                          vector=vector, iterations=iterations)
+                          vector=vector, iterations=iterations,
+                          strategy="newton")
     except ConvergenceError:
         pass
 
-    # Source stepping fallback.
-    vector = initial
-    total_iterations = 0
-    for step in range(1, options.source_steps + 1):
-        scale = step / options.source_steps
-        vector, iterations = _newton_solve(circuit, structure, linear, options,
-                                           vector, source_scale=scale,
-                                           solver=solver, gmin_diag=gmin_diag)
-        total_iterations += iterations
-    return DcSolution(circuit=circuit, structure=structure,
-                      vector=vector, iterations=total_iterations)
+    # Rung 1: gmin-stepping homotopy.  A large gmin makes the Jacobian
+    # strongly diagonally dominant (every rung converges easily), and each
+    # solution warm-starts the next, slightly less regularised, rung.  The
+    # final solve runs at the true analysis gmin, so the returned operating
+    # point solves the identical system a plain Newton solve would have.
+    ladder = _gmin_ladder(options.gmin_start, target_gmin, options.gmin_steps)
+    if ladder:
+        try:
+            vector = initial
+            total_iterations = 0
+            for rung_gmin in ladder:
+                rung_diag = gmin_diagonal(structure.size, structure.n_nodes,
+                                          rung_gmin)
+                vector, iterations = newton(vector, 1.0, rung_diag)
+                total_iterations += iterations
+                solver._bump("dc_gmin_steps")
+            vector, iterations = newton(vector, 1.0, gmin_diag)
+            total_iterations += iterations
+            return DcSolution(circuit=circuit, structure=structure,
+                              vector=vector, iterations=total_iterations,
+                              strategy="gmin-stepping")
+        except ConvergenceError:
+            pass
+
+    # Rung 2: source-stepping homotopy — ramp the independent sources from
+    # zero, warm-starting each step with the previous solution.
+    try:
+        vector = initial
+        total_iterations = 0
+        for step in range(1, options.source_steps + 1):
+            scale = step / options.source_steps
+            vector, iterations = newton(vector, scale, gmin_diag)
+            total_iterations += iterations
+            solver._bump("dc_source_steps")
+        return DcSolution(circuit=circuit, structure=structure,
+                          vector=vector, iterations=total_iterations,
+                          strategy="source-stepping")
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            "DC operating point did not converge: plain Newton, "
+            f"{len(ladder)}-rung gmin stepping and "
+            f"{options.source_steps}-step source stepping all failed "
+            f"(last failure: {exc})") from exc

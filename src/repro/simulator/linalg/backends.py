@@ -326,14 +326,11 @@ class _CgFactorization:
         options = solver.options
         self._maxiter = options.cg_max_iterations or csc.shape[0]
 
-    def _fallback_lu(self) -> Factorization:
+    def _fallback_lu(self):
         if self._lu is None:
-            if not self._solver.options.iterative_fallback:
-                raise SimulationError(
-                    "CG did not converge and iterative_fallback is disabled")
-            self._solver._bump("fallbacks")
-            self._lu = Factorization(self._csc, structure=self._structure,
-                                     sinks=self._solver._sinks)
+            self._lu = self._solver._degraded_factorize(
+                self._csc, self._structure,
+                reason="CG did not converge")
         return self._lu
 
     def _cg_column(self, rhs: np.ndarray) -> np.ndarray:
@@ -384,20 +381,35 @@ class _CgFactorization:
 
 
 class IterativeSolver(LinearSolver):
-    """Preconditioned CG for SPD systems, direct LU for everything else.
+    """Preconditioned CG for SPD systems, with an explicit degradation chain.
 
     The screen is conservative: a system qualifies for CG only when it is
     real, numerically symmetric and has a strictly positive diagonal — which
     in this codebase means the substrate mesh Laplacian (plus port contact
-    conductances) of the Kron reduction.  MNA systems with voltage-source
-    branch rows are structurally unsymmetric and route straight to the
-    direct backend, counted as a fallback.
+    conductances) of the Kron reduction.  Everything else — and any CG
+    breakdown or stagnation — steps down an explicit, stats-recorded
+    degradation ladder::
+
+        iterative (CG)  ->  reuse-LU  ->  direct LU
+
+    The first rung down is a shared :class:`ReusePatternLUSolver` (counted in
+    ``stats.fallbacks``): repeated fallbacks of same-pattern systems — MNA
+    matrices across Newton iterations, frequency points — pay the symbolic
+    analysis once.  Only if that refactorization itself fails does the solve
+    degrade to a plain direct factorization (counted in
+    ``stats.fallback_direct``).  With ``iterative_fallback=False`` the ladder
+    is disabled and non-CG-able systems raise instead.
     """
 
     name = BACKEND_ITERATIVE
 
     #: relative asymmetry tolerated by the SPD screen
     _SYMMETRY_RTOL = 1e-12
+
+    def __init__(self, options: SolverOptions | None = None, *,
+                 mirror_global: bool = True):
+        super().__init__(options, mirror_global=mirror_global)
+        self._fallback_solver: ReusePatternLUSolver | None = None
 
     def _spd_candidate(self, csc: sp.csc_matrix) -> bool:
         if np.iscomplexobj(csc.data) or csc.shape[0] == 0:
@@ -450,21 +462,45 @@ class IterativeSolver(LinearSolver):
                                  sinks=self._sinks)
         csc = _canonical_csc(matrix)
         if not self._spd_candidate(csc):
-            return self._direct_fallback(csc, structure)
+            return self._degraded_factorize(
+                csc, structure, reason="matrix is not SPD-eligible for CG")
         ok, preconditioner = self._make_preconditioner(csc)
         if not ok:
-            return self._direct_fallback(csc, structure)
+            return self._degraded_factorize(
+                csc, structure, reason="ILU preconditioner broke down")
         self._bump("factorizations")
         return _CgFactorization(self, csc, preconditioner, structure)
 
-    def _direct_fallback(self, csc: sp.csc_matrix,
-                         structure) -> Factorization:
+    def _reuse_lu(self) -> ReusePatternLUSolver:
+        """The shared first-rung fallback solver (lazily built).
+
+        Its stats object is *replaced* by this solver's, so every fallback
+        factorization, pattern reuse and solve counts into the iterative
+        backend's own counters (and the global mirror) — the ladder is one
+        solver from the caller's point of view.
+        """
+        if self._fallback_solver is None:
+            solver = ReusePatternLUSolver(self.options, mirror_global=False)
+            solver.stats = self.stats
+            solver._mirror_global = self._mirror_global
+            self._fallback_solver = solver
+        return self._fallback_solver
+
+    def _degraded_factorize(self, csc: sp.csc_matrix, structure,
+                            reason: str):
+        """Step down the ladder: reuse-LU first, plain direct LU last."""
         if not self.options.iterative_fallback:
             raise SimulationError(
-                "matrix is not SPD-eligible for CG and iterative_fallback "
-                "is disabled")
+                f"{reason} and iterative_fallback is disabled")
         self._bump("fallbacks")
-        return Factorization(csc, structure=structure, sinks=self._sinks)
+        try:
+            return self._reuse_lu().factorize(csc, structure=structure)
+        except SimulationError:
+            # The symbolic-reuse rung itself failed (e.g. pivot growth with
+            # the cached ordering); one plain direct factorization is the
+            # last rung before the error reaches the caller.
+            self._bump("fallback_direct")
+            return Factorization(csc, structure=structure, sinks=self._sinks)
 
 
 _BACKEND_CLASSES: dict[str, type[LinearSolver]] = {

@@ -54,11 +54,23 @@ class SolverStats:
     pattern_reuses: int = 0     #: value-only refactorizations (reuse-lu)
     cg_solves: int = 0          #: right-hand sides solved by CG
     cg_iterations: int = 0      #: total CG iterations over all solves
-    fallbacks: int = 0          #: iterative requests that fell back to LU
+    fallbacks: int = 0          #: iterative requests degraded to reuse-LU
+    fallback_direct: int = 0    #: degradations that had to reach plain direct LU
+    dc_gmin_steps: int = 0      #: gmin-continuation rungs taken by DC Newton
+    dc_source_steps: int = 0    #: source-stepping rungs taken by DC Newton
     backend: str = ""           #: backend name ("" for the module-level global)
 
     _COUNTERS = ("factorizations", "solves", "pattern_reuses",
-                 "cg_solves", "cg_iterations", "fallbacks")
+                 "cg_solves", "cg_iterations", "fallbacks", "fallback_direct",
+                 "dc_gmin_steps", "dc_source_steps")
+
+    #: The subset of counters that record *graceful degradation* — a solve or
+    #: analysis that only succeeded by stepping down the robustness ladder
+    #: (iterative -> reuse-LU -> direct, plain Newton -> gmin stepping ->
+    #: source stepping).  Campaign runners snapshot these around each task and
+    #: surface non-zero deltas in result sidecars.
+    DEGRADATION_COUNTERS = ("fallbacks", "fallback_direct",
+                            "dc_gmin_steps", "dc_source_steps")
 
     def reset(self) -> None:
         for name in self._COUNTERS:

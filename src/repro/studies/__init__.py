@@ -13,9 +13,15 @@ package turns such studies into declarative campaigns executed by one engine:
   (same protocol, entries survive the process; atomic, versioned,
   corruption-tolerant),
 * :mod:`repro.studies.backends` — :class:`SerialBackend` and the sharded
-  :class:`ProcessPoolBackend` (task-level retries) behind one protocol,
+  :class:`ProcessPoolBackend` behind one protocol, sharing task-level
+  retries, wall-clock timeouts, pool-rebuild backoff and the
+  abort/skip/retry_then_skip failure policies,
 * :mod:`repro.studies.runner` — the :class:`SweepRunner` orchestrating
-  extraction reuse, task fan-out and corner-level resume,
+  extraction reuse, task fan-out, corner-level resume, crash-safe
+  checkpointing (:class:`CheckpointPolicy`) and structured
+  :class:`~repro.errors.CornerFailure` reporting,
+* :mod:`repro.studies.faults` — the deterministic :class:`FaultPlan`
+  injection harness the fault-tolerance tests drive all of the above with,
 * :mod:`repro.studies.results` — the tidy :class:`SweepResult` store with
   worst-corner and spur-vs-frequency queries plus ``save``/``load``/
   ``merge`` persistence (NPZ + JSON metadata sidecar),
@@ -37,8 +43,19 @@ Quickstart (see ``examples/spur_campaign.py`` for the narrated version)::
     print(result.summary(), result.worst_spur().row())
 """
 
-from .backends import ProcessPoolBackend, SerialBackend, SweepBackend
+from ..errors import CampaignError, CornerFailure, TaskTimeoutError
+from .backends import (
+    ON_ERROR_ABORT,
+    ON_ERROR_POLICIES,
+    ON_ERROR_RETRY_THEN_SKIP,
+    ON_ERROR_SKIP,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+    TaskFailure,
+)
 from .cache import CacheStats, ExtractionCache, extraction_key, fingerprint
+from .faults import FaultPlan, FaultSpec, InjectedFault
 from .params import (
     AXIS_INJECTED_POWER,
     AXIS_NOISE_FREQUENCY,
@@ -47,7 +64,13 @@ from .params import (
     LayoutVariant,
     ParamSpace,
 )
-from .persist import load_result, save_result
+from .persist import (
+    CampaignJournal,
+    CheckpointPolicy,
+    journal_path_for,
+    load_result,
+    save_result,
+)
 from .results import PointRecord, SweepResult, VariantRecord
 from .runner import SweepRunner, SweepTask
 from .store import CacheCorruptionWarning, DiskCacheStats, DiskExtractionCache
@@ -59,10 +82,21 @@ __all__ = [
     "CacheCorruptionWarning",
     "CacheStats",
     "Campaign",
+    "CampaignError",
+    "CampaignJournal",
+    "CheckpointPolicy",
+    "CornerFailure",
     "DiskCacheStats",
     "DiskExtractionCache",
     "ExtractionCache",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "LayoutVariant",
+    "ON_ERROR_ABORT",
+    "ON_ERROR_POLICIES",
+    "ON_ERROR_RETRY_THEN_SKIP",
+    "ON_ERROR_SKIP",
     "ParamSpace",
     "PointRecord",
     "ProcessPoolBackend",
@@ -71,9 +105,12 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "SweepTask",
+    "TaskFailure",
+    "TaskTimeoutError",
     "VariantRecord",
     "extraction_key",
     "fingerprint",
+    "journal_path_for",
     "load_result",
     "save_result",
 ]

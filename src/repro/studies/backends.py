@@ -13,21 +13,54 @@ decide *where* those tasks run:
   sharding is embarrassingly parallel; results are reassembled in task order,
   which keeps the output bit-identical to the serial backend.
 
-Both implement the same two-method protocol (``run`` plus a ``describe`` for
-benchmarks), so runners and benchmarks treat them interchangeably.
+Both implement the same protocol (``run`` plus a ``describe`` for benchmarks)
+and share one retry/failure-policy layer, so a campaign behaves identically
+whichever backend executes it:
+
+* **retries** — a task that raises is re-attempted up to ``retries`` times;
+  per-task attempt counts land in ``task_attempts`` after every ``run``.
+  ``KeyboardInterrupt`` and ``SystemExit`` are never swallowed or retried.
+* **failure policies** — ``run(..., on_error=...)`` selects what an
+  *exhausted* task does: ``"abort"`` (default) raises a
+  :class:`~repro.errors.CampaignError` naming the corner; ``"skip"`` gives
+  every task a single attempt and records failures; ``"retry_then_skip"``
+  spends the retry budget first.  Under the skip policies ``run`` returns a
+  :class:`TaskFailure` in the failed task's result slot instead of raising,
+  so campaigns complete with partial results.
+* **timeouts** — ``ProcessPoolBackend(task_timeout=...)`` detects a hung
+  worker (a ``wait()`` that would otherwise block forever), abandons its
+  future, kills and recycles the pool, and retries the task; the timeout is
+  surfaced as a :class:`~repro.errors.TaskTimeoutError` cause.
+* **backoff** — every pool rebuild (crash or timeout) sleeps an
+  exponentially growing, jittered delay so a crash-looping environment does
+  not hot-spin through its retry budget.
+* **streaming** — ``run(..., on_result=...)`` invokes a parent-process
+  callback as each task settles successfully, which is what lets the runner
+  checkpoint completed corners *during* the campaign instead of only at the
+  end.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, TypeVar
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, CampaignError, CornerFailure, TaskTimeoutError
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
+
+#: Campaign failure policies accepted by ``run(..., on_error=...)``.
+ON_ERROR_ABORT = "abort"
+ON_ERROR_SKIP = "skip"
+ON_ERROR_RETRY_THEN_SKIP = "retry_then_skip"
+ON_ERROR_POLICIES = (ON_ERROR_ABORT, ON_ERROR_SKIP, ON_ERROR_RETRY_THEN_SKIP)
 
 
 def _task_label(task) -> str:
@@ -43,12 +76,117 @@ def _task_label(task) -> str:
     return text if len(text) <= 200 else text[:197] + "..."
 
 
+def _check_policy(on_error: str) -> str:
+    if on_error not in ON_ERROR_POLICIES:
+        raise AnalysisError(
+            f"unknown failure policy {on_error!r}; choose one of "
+            f"{', '.join(ON_ERROR_POLICIES)}")
+    return on_error
+
+
+def _effective_retries(retries: int, policy: str) -> int:
+    """Retry budget under a policy: ``skip`` means one attempt, no retries."""
+    return 0 if policy == ON_ERROR_SKIP else retries
+
+
+def _traceback_summary(exc: BaseException, limit: int = 4) -> str:
+    """The last few frames of ``exc``'s traceback, newline-joined."""
+    frames = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(frames[-limit:]) if frames else ""
+    return tail.strip()[-2000:]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured outcome of a task that exhausted its attempts.
+
+    Returned in the task's result slot when the failure policy is a skip
+    variant; the runner converts these into
+    :class:`~repro.errors.CornerFailure` records with corner coordinates.
+    """
+
+    index: int                  #: position in the submitted task list
+    label: str                  #: ``corner_label()`` / repr of the task
+    error_type: str             #: exception class name
+    message: str                #: exception message (truncated)
+    attempts: int               #: attempts spent
+    timed_out: bool = False     #: failure was a ``task_timeout`` trip
+    traceback_summary: str = ""
+
+    def as_corner_failure(self, *, variant_index: int = -1,
+                          injected_power_dbm: float = float("nan"),
+                          vtune: float = float("nan")) -> CornerFailure:
+        return CornerFailure(
+            corner_label=self.label, error_type=self.error_type,
+            message=self.message, attempts=self.attempts,
+            timed_out=self.timed_out,
+            traceback_summary=self.traceback_summary,
+            variant_index=variant_index,
+            injected_power_dbm=injected_power_dbm, vtune=vtune)
+
+
+def _failure_record(index: int, task, attempts: int,
+                    exc: BaseException | None) -> TaskFailure:
+    if exc is None:
+        return TaskFailure(index=index, label=_task_label(task),
+                           error_type="Unknown",
+                           message="task never completed (worker pool broke "
+                                   "repeatedly)",
+                           attempts=attempts)
+    message = str(exc)
+    return TaskFailure(
+        index=index, label=_task_label(task),
+        error_type=type(exc).__name__,
+        message=message if len(message) <= 500 else message[:497] + "...",
+        attempts=attempts,
+        timed_out=isinstance(exc, (TaskTimeoutError, TimeoutError)),
+        traceback_summary=_traceback_summary(exc))
+
+
+def _give_up(task, attempts: int, exc: BaseException) -> None:
+    """Abort-policy terminal: raise a CampaignError naming the corner."""
+    failure = _failure_record(-1, task, attempts, exc)
+    raise CampaignError(
+        f"sweep task failed after {attempts} attempt(s): "
+        f"{_task_label(task)}", failures=(failure,)) from exc
+
+
+def _run_with_retries(fn: Callable[[TaskT], ResultT], task: TaskT,
+                      index: int, attempts: list[int], retries: int,
+                      policy: str) -> "ResultT | TaskFailure":
+    """In-process attempt loop shared by the serial and single-worker paths.
+
+    Retries on ``Exception`` only — ``KeyboardInterrupt`` / ``SystemExit``
+    (and any other ``BaseException``) always propagate, whatever the policy:
+    a Ctrl-C must stop the campaign, not be recorded as a corner failure.
+    """
+    budget = _effective_retries(retries, policy)
+    while True:
+        attempts[index] += 1
+        try:
+            return fn(task)
+        except Exception as exc:
+            if attempts[index] <= budget:
+                continue
+            if policy == ON_ERROR_ABORT:
+                _give_up(task, attempts[index], exc)
+            return _failure_record(index, task, attempts[index], exc)
+
+
 class SweepBackend(Protocol):
     """Executes an ordered list of independent tasks."""
 
     def run(self, fn: Callable[[TaskT], ResultT],
-            tasks: Sequence[TaskT]) -> list[ResultT]:
-        """Apply ``fn`` to every task, returning results in task order."""
+            tasks: Sequence[TaskT], *,
+            on_error: str = ON_ERROR_ABORT,
+            on_result: Callable[[int, ResultT], None] | None = None,
+            ) -> "list[ResultT | TaskFailure]":
+        """Apply ``fn`` to every task, returning outcomes in task order.
+
+        Under the skip policies a failed task's slot holds a
+        :class:`TaskFailure` instead of a result.  ``on_result(index,
+        result)`` is called in the parent process as each task *succeeds*.
+        """
         ...
 
     def describe(self) -> str:
@@ -57,130 +195,312 @@ class SweepBackend(Protocol):
 
 
 class SerialBackend:
-    """Run every task in the calling process, in order."""
+    """Run every task in the calling process, in order.
 
-    def run(self, fn: Callable[[TaskT], ResultT],
-            tasks: Sequence[TaskT]) -> list[ResultT]:
-        return [fn(task) for task in tasks]
-
-    def describe(self) -> str:
-        return "serial"
-
-
-class ProcessPoolBackend:
-    """Shard tasks across worker processes, with task-level retries.
-
-    ``fn`` and every task must be picklable (the runner's task payloads are
-    plain dataclasses of arrays and model objects).  Worker failures are not
-    swallowed: a task that still fails after ``retries`` re-submissions
-    aborts the campaign with an :class:`AnalysisError` naming the failing
-    corner's parameters (the chained ``__cause__`` keeps the original
-    traceback).  A hard-killed worker (OOM, segfault) breaks the whole
-    executor; completed results are salvaged and the unfinished tasks get a
-    fresh pool until their retries run out — persistent breakage is then
-    reported as such, not blamed on a corner that never ran.  (With a single
-    effective worker the tasks run in the calling process to skip the pool
-    overhead: retries still apply to task exceptions, but a process-killing
-    fault there takes the parent down — there is no pool to break.)
-    ``task_attempts`` records how many attempts each task of the last
-    ``run`` took, so campaigns can report flaky-worker churn.
+    Shares the pool backend's retry semantics and bookkeeping: ``retries``
+    re-attempts failing tasks and ``task_attempts`` records the per-task
+    attempt counts of the most recent ``run``.  (Wall-clock task timeouts
+    need a worker process to abandon and are therefore pool-only.)
     """
 
-    def __init__(self, max_workers: int | None = None, retries: int = 0):
-        if max_workers is not None and max_workers < 1:
-            raise AnalysisError("ProcessPoolBackend needs at least one worker")
+    def __init__(self, retries: int = 0):
         if retries < 0:
             raise AnalysisError("retries must be >= 0")
-        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
         self.retries = retries
         #: per-task attempt counts of the most recent :meth:`run`
         self.task_attempts: list[int] = []
 
-    def _give_up(self, task, attempts: int, exc: BaseException) -> None:
-        raise AnalysisError(
-            f"sweep task failed after {attempts} attempt(s): "
-            f"{_task_label(task)}") from exc
-
     def run(self, fn: Callable[[TaskT], ResultT],
-            tasks: Sequence[TaskT]) -> list[ResultT]:
+            tasks: Sequence[TaskT], *,
+            on_error: str = ON_ERROR_ABORT,
+            on_result: Callable[[int, ResultT], None] | None = None,
+            ) -> "list[ResultT | TaskFailure]":
+        policy = _check_policy(on_error)
         attempts = [0] * len(tasks)
         self.task_attempts = attempts
+        results: list = []
+        for index, task in enumerate(tasks):
+            outcome = _run_with_retries(fn, task, index, attempts,
+                                        self.retries, policy)
+            results.append(outcome)
+            if on_result is not None and not isinstance(outcome, TaskFailure):
+                on_result(index, outcome)
+        return results
+
+    def describe(self) -> str:
+        if self.retries:
+            return f"serial[retries={self.retries}]"
+        return "serial"
+
+
+class _TimedOut(Exception):
+    """Internal marker cause for a task abandoned by a timeout trip."""
+
+
+class ProcessPoolBackend:
+    """Shard tasks across worker processes, with retries, timeouts and backoff.
+
+    ``fn`` and every task must be picklable (the runner's task payloads are
+    plain dataclasses of arrays and model objects).  Worker failures are not
+    swallowed: under the default ``abort`` policy a task that still fails
+    after ``retries`` re-submissions aborts the campaign with a
+    :class:`~repro.errors.CampaignError` naming the failing corner's
+    parameters (the chained ``__cause__`` keeps the original traceback).  A
+    hard-killed worker (OOM, segfault) breaks the whole executor; completed
+    results are salvaged and the unfinished tasks get a fresh pool until
+    their retries run out — persistent breakage is then reported as such, not
+    blamed on a corner that never ran.
+
+    ``task_timeout`` (seconds) bounds each task's wall clock: a worker that
+    exceeds it is declared hung, its future abandoned, the pool's processes
+    killed and recycled, and the task retried (its trip recorded as a
+    :class:`~repro.errors.TaskTimeoutError` cause) — without it, a single
+    hung worker stalls ``wait()`` forever.  Every pool rebuild sleeps an
+    exponential, jittered backoff (``backoff_base * 2**(rebuilds-1)`` capped
+    at ``backoff_max``) so a crash-looping environment cannot hot-spin.
+
+    (With a single effective worker the tasks run in the calling process to
+    skip the pool overhead: retries still apply to task exceptions, but
+    timeouts cannot preempt and a process-killing fault there takes the
+    parent down — there is no pool to break.)  ``task_attempts`` records how
+    many attempts each task of the last ``run`` took, so campaigns can
+    report flaky-worker churn.
+    """
+
+    def __init__(self, max_workers: int | None = None, retries: int = 0,
+                 task_timeout: float | None = None,
+                 backoff_base: float = 0.25, backoff_max: float = 8.0,
+                 backoff_seed: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise AnalysisError("ProcessPoolBackend needs at least one worker")
+        if retries < 0:
+            raise AnalysisError("retries must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise AnalysisError("task_timeout must be positive (seconds)")
+        if backoff_base < 0 or backoff_max < 0:
+            raise AnalysisError("backoff delays must be >= 0")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._rng = random.Random(backoff_seed)
+        #: per-task attempt counts of the most recent :meth:`run`
+        self.task_attempts: list[int] = []
+        #: pool rebuilds (crash or timeout) during the most recent :meth:`run`
+        self.pool_rebuilds: int = 0
+
+    # -- backoff -------------------------------------------------------------
+
+    def _backoff_sleep(self, rebuilds: int) -> None:
+        """Jittered exponential delay before the ``rebuilds``-th fresh pool."""
+        if self.backoff_base <= 0:
+            return
+        delay = min(self.backoff_max,
+                    self.backoff_base * (2.0 ** (rebuilds - 1)))
+        # Full jitter in [delay/2, delay]: desynchronises concurrent
+        # campaigns hammering one broken shared resource.
+        time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, fn: Callable[[TaskT], ResultT],
+            tasks: Sequence[TaskT], *,
+            on_error: str = ON_ERROR_ABORT,
+            on_result: Callable[[int, ResultT], None] | None = None,
+            ) -> "list[ResultT | TaskFailure]":
+        policy = _check_policy(on_error)
+        attempts = [0] * len(tasks)
+        self.task_attempts = attempts
+        self.pool_rebuilds = 0
         if not tasks:
             return []
+        budget = _effective_retries(self.retries, policy)
         # A pool larger than the task list would only spawn idle workers.
         n_workers = min(self.max_workers, len(tasks))
         if n_workers == 1:
-            return [self._run_in_process(fn, task, index, attempts)
-                    for index, task in enumerate(tasks)]
-        results: list[ResultT | None] = [None] * len(tasks)
+            results = []
+            for index, task in enumerate(tasks):
+                outcome = _run_with_retries(fn, task, index, attempts,
+                                            self.retries, policy)
+                results.append(outcome)
+                if on_result is not None \
+                        and not isinstance(outcome, TaskFailure):
+                    on_result(index, outcome)
+            return results
+        results: list = [None] * len(tasks)
         remaining = list(range(len(tasks)))
         while remaining:
-            # A hard-killed worker (OOM, segfault) breaks the whole executor;
-            # the unfinished tasks then get a fresh pool, each having spent
-            # one attempt, until they succeed or exhaust their retries.
+            # A hard-killed worker (OOM, segfault) breaks the whole executor
+            # and a hung worker trips the task timeout; the unfinished tasks
+            # then get a fresh pool, each having spent one attempt, until
+            # they succeed or exhaust their retries.
             remaining, causes = self._pool_round(fn, tasks, results, attempts,
-                                                remaining, n_workers)
+                                                 remaining, n_workers, budget,
+                                                 policy, on_result)
             exhausted = [index for index in remaining
-                         if attempts[index] > self.retries]
-            if not exhausted:
-                continue
-            # Blame a task that failed on its own if there is one; the rest
-            # merely shared a broken pool and may never have run, so they
-            # are reported as unfinished rather than as the failure.
-            blamed = next(
-                (index for index in exhausted
-                 if causes.get(index) is not None
-                 and not isinstance(causes[index], BrokenProcessPool)),
-                None)
-            if blamed is not None:
-                self._give_up(tasks[blamed], attempts[blamed], causes[blamed])
-            first = exhausted[0]
-            raise AnalysisError(
-                f"worker pool broke {attempts[first]} time(s); "
-                f"{len(exhausted)} task(s) exhausted their retries without "
-                f"completing, including: {_task_label(tasks[first])}"
-            ) from causes.get(first)
+                         if attempts[index] > budget]
+            if exhausted:
+                if policy == ON_ERROR_ABORT:
+                    self._abort(tasks, attempts, exhausted, causes)
+                for index in exhausted:
+                    results[index] = _failure_record(index, tasks[index],
+                                                     attempts[index],
+                                                     causes.get(index))
+                remaining = [index for index in remaining
+                             if index not in set(exhausted)]
+            if remaining:
+                self.pool_rebuilds += 1
+                self._backoff_sleep(self.pool_rebuilds)
         return results
+
+    def _abort(self, tasks, attempts: list[int], exhausted: list[int],
+               causes: dict[int, BaseException]) -> None:
+        """Abort policy: blame the right task and raise."""
+        # Blame a task that failed on its own if there is one; the rest
+        # merely shared a broken pool and may never have run, so they
+        # are reported as unfinished rather than as the failure.
+        blamed = next(
+            (index for index in exhausted
+             if causes.get(index) is not None
+             and not isinstance(causes[index], (BrokenProcessPool, _TimedOut))),
+            None)
+        if blamed is not None:
+            _give_up(tasks[blamed], attempts[blamed], causes[blamed])
+        first = exhausted[0]
+        failures = tuple(_failure_record(index, tasks[index], attempts[index],
+                                         causes.get(index))
+                         for index in exhausted)
+        raise CampaignError(
+            f"worker pool broke {attempts[first]} time(s); "
+            f"{len(exhausted)} task(s) exhausted their retries without "
+            f"completing, including: {_task_label(tasks[first])}",
+            failures=failures) from causes.get(first)
 
     def _pool_round(self, fn: Callable[[TaskT], ResultT],
                     tasks: Sequence[TaskT], results: list,
                     attempts: list[int], indices: list[int],
-                    n_workers: int,
+                    n_workers: int, budget: int, policy: str,
+                    on_result,
                     ) -> tuple[list[int], dict[int, BaseException]]:
         """One executor lifetime; returns (unfinished indices, their causes).
 
-        Per-task failures are retried within the round; a broken pool ends
-        the round early with every not-yet-finished task listed as
-        unfinished (their submitted attempts count as spent).
+        Per-task failures are retried within the round; a broken pool or a
+        timeout trip ends the round early with every not-yet-finished task
+        listed as unfinished (their submitted attempts count as spent).
         """
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             pending: dict = {}
-            for index in indices:
+            deadlines: dict = {}
+
+            def submit(index: int):
                 attempts[index] += 1
-                pending[pool.submit(fn, tasks[index])] = index
+                future = pool.submit(fn, tasks[index])
+                pending[future] = index
+                if self.task_timeout is not None:
+                    deadlines[future] = time.monotonic() + self.task_timeout
+
+            for index in indices:
+                submit(index)
             while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values())
+                                  - time.monotonic())
+                done, _ = wait(pending, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    hung = [future for future in list(pending)
+                            if deadlines.get(future, float("inf"))
+                            <= time.monotonic() and not future.done()]
+                    if hung:
+                        return self._abandon_hung(pool, hung, pending,
+                                                  results, on_result)
+                    continue
                 for future in done:
                     index = pending.pop(future)
+                    deadlines.pop(future, None)
                     exc = future.exception()
                     if exc is None:
                         results[index] = future.result()
+                        if on_result is not None:
+                            on_result(index, results[index])
+                    elif isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        # Never swallow or retry an interrupt, whatever the
+                        # policy — mirror the in-process path exactly.
+                        for other in pending:
+                            other.cancel()
+                        raise exc
                     elif isinstance(exc, BrokenProcessPool):
-                        return self._drain_broken(index, exc, pending, results)
-                    elif attempts[index] <= self.retries:
-                        attempts[index] += 1
+                        return self._drain_broken(index, exc, pending,
+                                                  results, on_result)
+                    elif attempts[index] <= budget:
                         try:
-                            pending[pool.submit(fn, tasks[index])] = index
+                            submit(index)
                         except BrokenProcessPool as submit_exc:
                             return self._drain_broken(index, submit_exc,
-                                                      pending, results)
+                                                      pending, results,
+                                                      on_result)
+                    elif policy == ON_ERROR_ABORT:
+                        _give_up(tasks[index], attempts[index], exc)
                     else:
-                        self._give_up(tasks[index], attempts[index], exc)
+                        results[index] = _failure_record(
+                            index, tasks[index], attempts[index], exc)
         return [], {}
+
+    def _abandon_hung(self, pool, hung: list, pending: dict, results: list,
+                      on_result) -> tuple[list[int], dict[int, BaseException]]:
+        """A worker exceeded ``task_timeout``: abandon it, kill the pool.
+
+        The hung futures' tasks get a :class:`~repro.errors.TaskTimeoutError`
+        cause; every other unfinished task is rescheduled with the timeout
+        breakage as its (non-blaming) cause, exactly like a pool crash.  The
+        worker processes are killed so the executor's shutdown cannot block
+        on the hung task — the pool is unusable afterwards and the caller
+        builds a fresh one.
+        """
+        timeout_exc = TaskTimeoutError(
+            f"task exceeded task_timeout={self.task_timeout:g} s; its worker "
+            "was killed and the pool recycled")
+        unfinished: list[int] = []
+        causes: dict[int, BaseException] = {}
+        hung_set = set(hung)
+        for future, index in pending.items():
+            # Read the outcome before any cancel(): a cancelled future's
+            # exception() raises CancelledError instead of returning.  A
+            # "hung" future that completed just after the deadline check is
+            # simply salvaged — no work is thrown away over a race.
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index])
+                    continue
+            else:
+                future.cancel()
+                exc = None
+            unfinished.append(index)
+            if exc is not None and not isinstance(exc, BrokenProcessPool):
+                causes[index] = exc
+            elif future in hung_set:
+                causes[index] = timeout_exc
+            else:
+                causes[index] = _TimedOut(
+                    "pool recycled while this task was queued")
+        # SIGKILL the workers: a hung task never returns, so a graceful
+        # shutdown would block exactly like the wait() we just rescued.
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        return unfinished, causes
 
     @staticmethod
     def _drain_broken(first_index: int, breakage: BaseException,
-                      pending: dict, results: list,
+                      pending: dict, results: list, on_result,
                       ) -> tuple[list[int], dict[int, BaseException]]:
         """Salvage a broken pool's futures: keep results that did complete.
 
@@ -199,6 +519,8 @@ class ProcessPoolBackend:
                 exc = future.exception()
                 if exc is None:
                     results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index])
                     continue
             else:
                 future.cancel()
@@ -208,18 +530,11 @@ class ProcessPoolBackend:
                 or isinstance(exc, BrokenProcessPool) else exc
         return unfinished, causes
 
-    def _run_in_process(self, fn: Callable[[TaskT], ResultT], task: TaskT,
-                        index: int, attempts: list[int]) -> ResultT:
-        """Single-worker path: no pool, but the same retry bookkeeping."""
-        while True:
-            attempts[index] += 1
-            try:
-                return fn(task)
-            except Exception as exc:
-                if attempts[index] > self.retries:
-                    self._give_up(task, attempts[index], exc)
-
     def describe(self) -> str:
+        knobs = []
         if self.retries:
-            return f"process-pool[{self.max_workers},retries={self.retries}]"
-        return f"process-pool[{self.max_workers}]"
+            knobs.append(f"retries={self.retries}")
+        if self.task_timeout is not None:
+            knobs.append(f"timeout={self.task_timeout:g}s")
+        suffix = ("," + ",".join(knobs)) if knobs else ""
+        return f"process-pool[{self.max_workers}{suffix}]"

@@ -46,10 +46,23 @@ supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
     retries = 0
     cache_dir = ".repro-cache"
     result = "fig8_result.npz"
+    on_error = "abort"          # "abort" | "skip" | "retry_then_skip"
+    task_timeout = 600.0        # per-task wall-clock bound (process-pool)
+    checkpoint_corners = 1      # journal completed corners every N corners
+    checkpoint_seconds = 30.0   # ... or every T seconds (0 corners disables)
 
 The ``[solver]`` table participates in the extraction-cache key (two
 campaigns differing only in solver backend or tolerances never share cached
 extractions) and is recorded in the result's ``.meta.json`` sidecar.
+
+Failure handling: with ``on_error = "skip"`` / ``"retry_then_skip"`` a
+campaign completes with partial results — failed corners are recorded in the
+sidecar, ``show`` lists them, ``resume`` re-runs exactly them, and the exit
+code is 3 (partial) instead of 0.  When a result path is configured, the
+runner also journals completed corners to ``<result stem>.journal/`` while
+running, so a campaign killed mid-flight (even ``kill -9``) resumes losing
+at most one checkpoint interval; the journal is discarded once the full
+result is saved.
 """
 
 from __future__ import annotations
@@ -65,9 +78,16 @@ import numpy as np
 from ..errors import AnalysisError, ReproError
 from ..layout.testchips import VcoLayoutSpec
 from ..technology import make_technology
-from .backends import ProcessPoolBackend, SerialBackend, SweepBackend
+from .backends import (
+    ON_ERROR_ABORT,
+    ON_ERROR_POLICIES,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+)
 from .cache import ExtractionCache
 from .params import Campaign, ParamSpace
+from .persist import CampaignJournal, CheckpointPolicy, journal_path_for
 from .results import SweepResult
 from .runner import SweepRunner
 from .store import DiskExtractionCache
@@ -93,13 +113,18 @@ class ExecutionSettings:
     retries: int = 0
     cache_dir: str | None = None
     result: str | None = None
+    on_error: str = ON_ERROR_ABORT
+    task_timeout: float | None = None
+    checkpoint_corners: int = 1       #: journal flush cadence; 0 disables
+    checkpoint_seconds: float = 30.0
 
     def make_backend(self) -> SweepBackend:
         if self.backend == "serial":
-            return SerialBackend()
+            return SerialBackend(retries=self.retries)
         if self.backend == "process-pool":
             return ProcessPoolBackend(max_workers=self.workers,
-                                      retries=self.retries)
+                                      retries=self.retries,
+                                      task_timeout=self.task_timeout)
         raise AnalysisError(
             f"unknown backend {self.backend!r} (choose 'serial' or "
             "'process-pool')")
@@ -108,6 +133,14 @@ class ExecutionSettings:
         if self.cache_dir:
             return DiskExtractionCache(self.cache_dir)
         return ExtractionCache()
+
+    def make_checkpoint(self) -> CheckpointPolicy | None:
+        """Journal policy next to the result file (None when disabled)."""
+        if not self.result or self.checkpoint_corners < 1:
+            return None
+        return CheckpointPolicy(path=journal_path_for(self.result),
+                                every_corners=self.checkpoint_corners,
+                                every_seconds=self.checkpoint_seconds)
 
 
 @dataclass
@@ -257,7 +290,8 @@ def load_campaign_config(path: str | Path) -> CampaignConfig:
 def _apply_overrides(execution: ExecutionSettings,
                      args: argparse.Namespace) -> ExecutionSettings:
     updates = {}
-    for field_name in ("backend", "workers", "retries", "cache_dir", "result"):
+    for field_name in ("backend", "workers", "retries", "cache_dir", "result",
+                       "on_error", "task_timeout"):
         value = getattr(args, field_name, None)
         if value is not None:
             updates[field_name] = value
@@ -282,10 +316,24 @@ def _print_run_report(result: SweepResult, cache: ExtractionCache,
     print(f"  cache totals         : hits {stats.hits}, "
           f"misses {stats.misses}{extra}")
     print(f"  wall clock           : {result.wall_seconds:.2f} s")
-    worst = result.worst_spur()
-    print(f"  worst spur           : {worst.spur_power_dbm:.1f} dBm at "
-          f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
-          f"V_tune={worst.vtune:g} V")
+    if result.records:
+        worst = result.worst_spur()
+        print(f"  worst spur           : {worst.spur_power_dbm:.1f} dBm at "
+              f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
+              f"V_tune={worst.vtune:g} V")
+    if result.solver_degradations:
+        counts = ", ".join(f"{name}={count}" for name, count
+                           in sorted(result.solver_degradations.items()))
+        print(f"  solver degradations  : {counts}")
+    if result.failures:
+        print(f"  FAILED corners       : {len(result.failures)} "
+              "(partial result; 'repro-campaign resume' re-runs them)")
+        for failure in result.failures[:5]:
+            print(f"    - {failure.corner_label} "
+                  f"[{failure.error_type} after {failure.attempts} "
+                  f"attempt(s)]")
+        if len(result.failures) > 5:
+            print(f"    ... and {len(result.failures) - 5} more")
     if saved is not None:
         print(f"  result written       : {saved[0]} (+ {saved[1].name})")
 
@@ -328,13 +376,22 @@ def _launch(args: argparse.Namespace, resume: bool) -> int:
             print(f"no stored result at {npz_path}; starting fresh")
     cache = execution.make_cache()
     runner = SweepRunner(make_technology(), backend=execution.make_backend(),
-                         cache=cache)
-    result = runner.run(config.campaign, resume_from=resume_from)
+                         cache=cache, on_error=execution.on_error)
+    checkpoint = execution.make_checkpoint()
+    result = runner.run(config.campaign, resume_from=resume_from,
+                        checkpoint=checkpoint)
     saved = result.save(execution.result) if execution.result else None
+    if saved is not None and checkpoint is not None:
+        # Every journaled corner now lives in the saved result; keeping the
+        # journal would only re-feed stale segments to the next run.
+        CampaignJournal(checkpoint.path, campaign_name=config.campaign.name,
+                        fingerprint=None).discard()
     _print_run_report(result, cache, saved)
     if args.summary_json:
         _write_summary_json(args.summary_json, result, cache, saved)
-    return 0
+    # Exit code 3: the campaign *completed* but only partially (skipped
+    # corners) — distinct from 0 (full result) and 2 (hard error).
+    return 3 if result.failures else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -363,10 +420,23 @@ def _cmd_show(args: argparse.Namespace) -> int:
         preview = ", ".join(f"{v:g}" for v in values[:6])
         ellipsis = ", ..." if len(values) > 6 else ""
         print(f"  {name:20s} [{preview}{ellipsis}] ({len(values)} values)")
-    worst = result.worst_spur()
-    print(f"worst spur : {worst.spur_power_dbm:.1f} dBm at "
-          f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
-          f"V_tune={worst.vtune:g} V, variant {worst.variant_index}")
+    if result.records:
+        worst = result.worst_spur()
+        print(f"worst spur : {worst.spur_power_dbm:.1f} dBm at "
+              f"f_noise={worst.noise_frequency / 1e6:.3f} MHz, "
+              f"V_tune={worst.vtune:g} V, variant {worst.variant_index}")
+    if result.solver_degradations:
+        counts = ", ".join(f"{name}={count}" for name, count
+                           in sorted(result.solver_degradations.items()))
+        print(f"degraded   : {counts}")
+    if result.failures:
+        print(f"failures   : {len(result.failures)} corner(s) incomplete "
+              "('repro-campaign resume' re-runs them)")
+        for failure in result.failures:
+            timeout_note = ", timed out" if failure.timed_out else ""
+            print(f"  - {failure.corner_label} [{failure.error_type} after "
+                  f"{failure.attempts} attempt(s){timeout_note}]: "
+                  f"{failure.message}")
     if args.rows:
         print(f"\nfirst {args.rows} tidy rows:")
         for row in result.rows()[:args.rows]:
@@ -428,6 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --backend process-pool")
         p.add_argument("--retries", type=int, default=None,
                        help="per-task retries on worker failure")
+        p.add_argument("--on-error", dest="on_error",
+                       choices=ON_ERROR_POLICIES, default=None,
+                       help="failure policy: abort the campaign, or skip "
+                            "failed corners and keep a partial result")
+        p.add_argument("--task-timeout", dest="task_timeout", type=float,
+                       default=None,
+                       help="per-task wall-clock bound in seconds "
+                            "(process-pool backend)")
         p.add_argument("--summary-json", dest="summary_json", default=None,
                        help="also write a machine-readable run summary here")
 

@@ -1,0 +1,173 @@
+"""Deterministic fault injection for campaign robustness tests.
+
+A :class:`FaultPlan` wraps the runner's per-task callable and makes chosen
+tasks misbehave in controlled, reproducible ways: raise an exception, hang
+past the backend's ``task_timeout``, kill their worker process outright
+(``os._exit``, simulating an OOM-kill or segfault), or corrupt a cached
+object on disk before running.  The fault-tolerance test suite drives every
+recovery path of the sweep engine with these instead of relying on flaky
+real-world failures.
+
+Determinism across *processes* is the hard part: a pool backend retries a
+faulted task in a fresh worker, so an in-memory attempt counter would reset
+and the fault would fire forever.  The plan therefore counts attempts with
+``O_CREAT | O_EXCL`` marker files in a shared ``state_dir`` — each execution
+atomically claims the next attempt number, whichever process it runs in, so
+"fail the first two attempts of task 3" means exactly that, every run.
+
+Everything here is picklable (plain dataclasses plus a module-level wrapper
+class), which is what lets a plan ride into
+:class:`~repro.studies.backends.ProcessPoolBackend` workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import AnalysisError
+
+#: Supported fault kinds.
+FAULT_RAISE = "raise"          #: the task raises :class:`InjectedFault`
+FAULT_HANG = "hang"            #: the task sleeps far past any sane timeout
+FAULT_EXIT = "exit"            #: the task's process dies via ``os._exit``
+FAULT_CORRUPT = "corrupt"      #: a cached file is scribbled over, then run
+FAULT_KINDS = (FAULT_RAISE, FAULT_HANG, FAULT_EXIT, FAULT_CORRUPT)
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``"raise"``-kind injected fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: which task, what kind, and for how many attempts.
+
+    ``task_index`` matches the task payload's ``index`` attribute (the
+    runner's :class:`~repro.studies.runner.SweepTask` ordering).  The fault
+    fires on the first ``attempts`` executions of that task and lets later
+    retries through — set ``attempts`` above the backend's retry budget to
+    make the task fail permanently.
+    """
+
+    kind: str                   #: one of :data:`FAULT_KINDS`
+    task_index: int             #: task to sabotage (payload ``.index``)
+    attempts: int = 1           #: how many executions misbehave
+    hang_seconds: float = 3600.0   #: sleep length of a ``"hang"`` fault
+    exit_code: int = 137        #: status of an ``"exit"`` fault (SIGKILL-like)
+    target: str = ""            #: directory whose cache a ``"corrupt"`` hits
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise AnalysisError(
+                f"unknown fault kind {self.kind!r}; choose one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.attempts < 1:
+            raise AnalysisError("a fault must fire on at least one attempt")
+        if self.kind == FAULT_CORRUPT and not self.target:
+            raise AnalysisError("a corrupt fault needs a target directory")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of scripted faults sharing one state directory.
+
+    ``state_dir`` holds the cross-process attempt markers; point it at a
+    fresh temporary directory per test so runs never see each other's
+    counters.  ``wrap(fn)`` returns a picklable callable that injects the
+    plan's faults before delegating to ``fn`` — the runner installs it via
+    ``SweepRunner(fault_plan=...)``.
+    """
+
+    state_dir: str
+    specs: tuple[FaultSpec, ...] = ()
+
+    def wrap(self, fn) -> "FaultyCall":
+        return FaultyCall(self, fn)
+
+    # -- cross-process attempt accounting ------------------------------------
+
+    def claim_attempt(self, spec_index: int) -> int:
+        """Atomically claim the next attempt number of a spec (1-based).
+
+        ``O_CREAT | O_EXCL`` makes the claim race-free even when retries of
+        the same task land in different worker processes simultaneously.
+        """
+        state = Path(self.state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        attempt = 1
+        while True:
+            marker = state / f"spec{spec_index:02d}.attempt{attempt:04d}"
+            try:
+                handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                attempt += 1
+                continue
+            os.close(handle)
+            return attempt
+
+    def attempts_seen(self, spec_index: int) -> int:
+        """How many executions a spec has intercepted so far (any process)."""
+        state = Path(self.state_dir)
+        if not state.is_dir():
+            return 0
+        return sum(1 for entry in state.iterdir()
+                   if entry.name.startswith(f"spec{spec_index:02d}.attempt"))
+
+    # -- the faults themselves -----------------------------------------------
+
+    def inject(self, task) -> None:
+        """Fire every armed fault matching ``task`` (worker-side)."""
+        index = getattr(task, "index", None)
+        for spec_index, spec in enumerate(self.specs):
+            if index != spec.task_index:
+                continue
+            if self.claim_attempt(spec_index) > spec.attempts:
+                continue
+            if spec.kind == FAULT_RAISE:
+                raise InjectedFault(spec.message)
+            if spec.kind == FAULT_HANG:
+                time.sleep(spec.hang_seconds)
+            elif spec.kind == FAULT_EXIT:
+                # Die the way a segfault / OOM-kill does: no cleanup, no
+                # exception propagation — the pool sees a vanished worker.
+                os._exit(spec.exit_code)
+            elif spec.kind == FAULT_CORRUPT:
+                _corrupt_one_file(spec.target)
+
+
+def _corrupt_one_file(target: str) -> None:
+    """Scribble over the first regular file under ``target`` (recursively).
+
+    Deterministic (lexicographic order, dotfiles and lock sentinels skipped)
+    and non-atomic on purpose: this models a torn or bit-rotten cache entry,
+    which the disk cache must detect and treat as a miss rather than
+    deserialize garbage.
+    """
+    root = Path(target)
+    victims = sorted(
+        path for path in root.rglob("*")
+        if path.is_file() and not path.name.startswith(".")
+        and not path.name.endswith(".lock"))
+    if not victims:
+        return
+    victim = victims[0]
+    size = victim.stat().st_size
+    with victim.open("r+b") as handle:
+        handle.seek(max(0, size // 2))
+        handle.write(b"\x00CORRUPTED\x00")
+
+
+class FaultyCall:
+    """Picklable task-callable wrapper: inject the plan's faults, then run."""
+
+    def __init__(self, plan: FaultPlan, fn):
+        self.plan = plan
+        self.fn = fn
+
+    def __call__(self, task):
+        self.plan.inject(task)
+        return self.fn(task)

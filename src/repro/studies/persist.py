@@ -31,22 +31,28 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pickle
+import shutil
 import subprocess
 import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, CornerFailure
 from ..layout.testchips import VcoLayoutSpec
 from ..vco.spurs import NoiseEntry, SpurResult
 
 if TYPE_CHECKING:
-    from .results import SweepResult
+    from .results import PointRecord, SweepResult
 
 #: Version of the persisted result format (NPZ columns + sidecar schema).
 RESULT_FORMAT_VERSION = 1
+
+#: Version of the crash-recovery journal layout (manifest + segment pickles).
+JOURNAL_FORMAT_VERSION = 1
 
 #: Prefix of layout/mesh knob columns inside the NPZ archive.
 _KNOB_PREFIX = "knob__"
@@ -192,8 +198,6 @@ def _encode_records(result: "SweepResult") -> dict[str, np.ndarray]:
 
 
 def _encode_meta(result: "SweepResult") -> dict:
-    from dataclasses import asdict
-
     return {
         "format": RESULT_FORMAT_VERSION,
         "kind": "repro-sweep-result",
@@ -221,6 +225,10 @@ def _encode_meta(result: "SweepResult") -> dict:
             }
             for variant in result.variants
         ],
+        # NaN coordinates (failures with no pinned corner) survive the round
+        # trip: json emits the non-strict NaN token, which json.loads accepts.
+        "failures": [asdict(failure) for failure in result.failures],
+        "solver_degradations": dict(result.solver_degradations),
     }
 
 
@@ -268,6 +276,7 @@ def load_result(path: str | Path) -> "SweepResult":
                       from_cache=bool(entry["from_cache"]))
         for entry in meta.get("variants", [])
     ]
+    failures = [CornerFailure(**entry) for entry in meta.get("failures", [])]
     return SweepResult(
         campaign_name=meta["campaign_name"],
         backend_name=meta["backend_name"],
@@ -277,7 +286,168 @@ def load_result(path: str | Path) -> "SweepResult":
         wall_seconds=float(meta["timings"]["wall_seconds"]),
         cache_hits=int(meta["cache"]["hits"]),
         cache_misses=int(meta["cache"]["misses"]),
-        campaign_spec=meta.get("campaign"))
+        campaign_spec=meta.get("campaign"),
+        failures=failures,
+        solver_degradations={name: int(count) for name, count
+                             in meta.get("solver_degradations", {}).items()})
+
+
+# -- crash-safe checkpoint journal --------------------------------------------
+
+
+def journal_path_for(result_path: str | Path) -> Path:
+    """Default journal directory of a result path (``<stem>.journal/``)."""
+    npz_path, _meta_path = result_paths(result_path)
+    return npz_path.with_name(npz_path.name[: -len(".npz")] + ".journal")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the runner flushes completed corners to the crash journal.
+
+    A flush happens whenever ``every_corners`` corners have completed since
+    the last one *or* ``every_seconds`` have elapsed — whichever comes first
+    — plus once unconditionally when the campaign ends (even by an abort), so
+    a kill at any instant loses at most one interval of work.
+    """
+
+    path: str | Path                #: journal directory
+    every_corners: int = 1          #: flush after this many completed corners
+    every_seconds: float = 30.0     #: ... or after this much wall clock
+
+    def __post_init__(self):
+        if self.every_corners < 1:
+            raise AnalysisError("checkpoint every_corners must be >= 1")
+        if self.every_seconds <= 0:
+            raise AnalysisError("checkpoint every_seconds must be positive")
+
+
+class CampaignJournal:
+    """Append-only crash-recovery journal of completed sweep corners.
+
+    The journal is a directory holding a ``manifest.json`` (campaign name and
+    fingerprint, validated on recovery) plus numbered segment pickles, each a
+    tuple of :class:`~repro.studies.results.PointRecord`.  Every file lands
+    atomically (temporary file + ``os.replace``), so a process killed at any
+    point — including ``kill -9`` mid-write — leaves only whole segments: the
+    next run recovers every corner that was flushed and recomputes at most
+    the unflushed tail.
+
+    Records recovered from pickles are bit-identical to the originals, so a
+    killed-and-resumed campaign saves the same NPZ arrays, byte for byte, as
+    an uninterrupted one.
+    """
+
+    _MANIFEST = "manifest.json"
+    _SEGMENT_PREFIX = "seg-"
+
+    def __init__(self, directory: str | Path, *, campaign_name: str,
+                 fingerprint: str | None):
+        self.directory = Path(directory)
+        self.campaign_name = campaign_name
+        self.fingerprint = fingerprint
+        self._next_segment = 0
+        self._opened = False
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self) -> None:
+        """Create the journal directory and manifest (idempotent)."""
+        from .store import atomic_write
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "kind": "repro-campaign-journal",
+            "format": JOURNAL_FORMAT_VERSION,
+            "campaign_name": self.campaign_name,
+            "fingerprint": self.fingerprint,
+        }
+
+        def write_manifest(handle):
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+
+        atomic_write(self.directory / self._MANIFEST, write_manifest,
+                     binary=False)
+        existing = self._segment_numbers(self.directory)
+        self._next_segment = (max(existing) + 1) if existing else 0
+        self._opened = True
+
+    def append(self, records: "Sequence[PointRecord]") -> None:
+        """Atomically persist one batch of completed-corner records."""
+        from .store import atomic_write
+
+        if not records:
+            return
+        if not self._opened:
+            self.open()
+        name = f"{self._SEGMENT_PREFIX}{self._next_segment:06d}.pkl"
+        atomic_write(self.directory / name,
+                     lambda handle: pickle.dump(tuple(records), handle,
+                                                protocol=4))
+        self._next_segment += 1
+
+    def discard(self) -> None:
+        """Delete the journal (after its corners landed in a saved result)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def _segment_numbers(cls, directory: Path) -> list[int]:
+        numbers = []
+        for entry in directory.glob(cls._SEGMENT_PREFIX + "*.pkl"):
+            digits = entry.name[len(cls._SEGMENT_PREFIX):-len(".pkl")]
+            if digits.isdigit():
+                numbers.append(int(digits))
+        return sorted(numbers)
+
+    @classmethod
+    def recover(cls, directory: str | Path, *,
+                fingerprint: str | None) -> "list[PointRecord]":
+        """Load every journaled record, validating the campaign fingerprint.
+
+        Returns ``[]`` when no journal exists.  A journal written by a
+        *different* campaign (fingerprint mismatch) raises instead of being
+        silently mixed into the wrong result.
+        """
+        directory = Path(directory)
+        manifest_path = directory / cls._MANIFEST
+        if not manifest_path.exists():
+            return []
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (ValueError, OSError) as exc:
+            raise AnalysisError(
+                f"unreadable campaign journal manifest {manifest_path}: "
+                f"{exc}") from exc
+        if manifest.get("kind") != "repro-campaign-journal":
+            raise AnalysisError(
+                f"{directory} is not a campaign journal")
+        if manifest.get("format") != JOURNAL_FORMAT_VERSION:
+            raise AnalysisError(
+                f"campaign journal {directory} uses format "
+                f"{manifest.get('format')!r}; this version reads "
+                f"{JOURNAL_FORMAT_VERSION}")
+        stored = manifest.get("fingerprint")
+        if fingerprint is not None and stored is not None \
+                and stored != fingerprint:
+            raise AnalysisError(
+                f"campaign journal {directory} belongs to campaign "
+                f"{manifest.get('campaign_name')!r} (fingerprint mismatch); "
+                "delete it or point the checkpoint elsewhere")
+        records: list = []
+        seen: set[int] = set()
+        for number in cls._segment_numbers(directory):
+            path = directory / f"{cls._SEGMENT_PREFIX}{number:06d}.pkl"
+            with path.open("rb") as handle:
+                batch = pickle.load(handle)
+            for record in batch:
+                if record.point_index not in seen:   # re-runs dedupe cleanly
+                    seen.add(record.point_index)
+                    records.append(record)
+        records.sort(key=lambda record: record.point_index)
+        return records
 
 
 def _decode_records(columns: dict[str, np.ndarray], point_record_cls) -> list:

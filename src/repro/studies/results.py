@@ -18,7 +18,7 @@ paper's figures ask:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
@@ -26,7 +26,7 @@ import numpy as np
 from ..analysis.compare import compare_curves, reference_slope_line
 from ..core.flow import FlowResult
 from ..data import measurements
-from ..errors import AnalysisError
+from ..errors import AnalysisError, CornerFailure
 from ..layout.testchips import VcoLayoutSpec
 from ..vco.spurs import SpurResult
 from .params import AXIS_INJECTED_POWER, AXIS_NOISE_FREQUENCY, AXIS_VTUNE
@@ -98,9 +98,27 @@ class SweepResult:
     #: JSON-serialisable campaign description (:meth:`Campaign.describe`),
     #: persisted in the metadata sidecar and used to validate resumes.
     campaign_spec: dict | None = None
+    #: Corners that exhausted their attempts under a skip policy (empty for a
+    #: complete run).  ``repro-campaign show`` lists these and ``resume``
+    #: re-runs exactly these corners.
+    failures: list[CornerFailure] = field(default_factory=list)
+    #: Non-zero solver degradation counters summed over all tasks (gmin /
+    #: source stepping rungs, iterative->LU fallbacks); empty when every
+    #: corner converged on the first-choice numerical path.
+    solver_degradations: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def complete(self) -> bool:
+        """True when no corner was skipped over a failure."""
+        return not self.failures
+
+    def failed_corners(self) -> frozenset[tuple[int, float, float]]:
+        """(variant, power, vtune) coordinates of the recorded failures."""
+        return frozenset((failure.variant_index, failure.injected_power_dbm,
+                          failure.vtune) for failure in self.failures)
 
     # -- persistence ---------------------------------------------------------
 
@@ -154,16 +172,35 @@ class SweepResult:
         for variant in self.variants:
             if variant.flow is not None or variant.index not in variants:
                 variants[variant.index] = variant
+        # A corner one run failed but the other completed is no longer a
+        # failure; among surviving failures, keyed corners dedupe (self wins).
+        merged_records = [by_point[index] for index in sorted(by_point)]
+        covered = {(r.variant_index, r.injected_power_dbm, r.vtune)
+                   for r in merged_records}
+        failures: list[CornerFailure] = []
+        seen_corners: set[tuple[int, float, float]] = set()
+        for failure in [*self.failures, *other.failures]:
+            corner = (failure.variant_index, failure.injected_power_dbm,
+                      failure.vtune)
+            if corner in covered or corner in seen_corners:
+                continue
+            seen_corners.add(corner)
+            failures.append(failure)
+        degradations = dict(self.solver_degradations)
+        for name, count in other.solver_degradations.items():
+            degradations[name] = degradations.get(name, 0) + count
         return SweepResult(
             campaign_name=self.campaign_name,
             backend_name=self.backend_name,
             axes=self.axes,
-            records=[by_point[index] for index in sorted(by_point)],
+            records=merged_records,
             variants=[variants[index] for index in sorted(variants)],
             wall_seconds=self.wall_seconds + other.wall_seconds,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
-            campaign_spec=self.campaign_spec or other.campaign_spec)
+            campaign_spec=self.campaign_spec or other.campaign_spec,
+            failures=failures,
+            solver_degradations=degradations)
 
     # -- tidy columns --------------------------------------------------------
 
@@ -326,7 +363,7 @@ class SweepResult:
 
     def summary(self) -> dict[str, float | int | str]:
         """Headline numbers for logging / benchmark records."""
-        return {
+        summary: dict[str, float | int | str] = {
             "campaign": self.campaign_name,
             "backend": self.backend_name,
             "points": len(self.records),
@@ -334,5 +371,13 @@ class SweepResult:
             "extractions": self.cache_misses,
             "cache_hits": self.cache_hits,
             "wall_seconds": round(self.wall_seconds, 4),
-            "worst_spur_dbm": round(self.worst_spur().spur_power_dbm, 2),
         }
+        if self.records:   # a fully-failed skip-policy run has no points
+            summary["worst_spur_dbm"] = round(
+                self.worst_spur().spur_power_dbm, 2)
+        if self.failures:
+            summary["failed_corners"] = len(self.failures)
+        if self.solver_degradations:
+            summary["solver_degradations"] = sum(
+                self.solver_degradations.values())
+        return summary

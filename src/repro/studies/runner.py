@@ -30,17 +30,25 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.flow import FlowOptions, FlowResult, run_extraction_flow
-from ..errors import AnalysisError
+from ..errors import AnalysisError, CornerFailure
 from ..layout.cell import Cell
 from ..technology.process import ProcessTechnology
-from .backends import SerialBackend, SweepBackend
+from .backends import (
+    ON_ERROR_ABORT,
+    SerialBackend,
+    SweepBackend,
+    TaskFailure,
+    _check_policy,
+)
 from .cache import ExtractionCache
 from .params import Campaign, LayoutVariant
+from .persist import CampaignJournal, CheckpointPolicy
 from .results import PointRecord, SweepResult, VariantRecord
 
 if TYPE_CHECKING:
     from ..core.vco_experiment import VcoExperimentOptions
     from ..layout.testchips import VcoLayoutSpec
+    from .faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -72,10 +80,16 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Per-point records produced by one task, tagged with the task index."""
+    """Per-point records produced by one task, tagged with the task index.
+
+    ``degradations`` holds the non-zero solver degradation counters this task
+    tripped (gmin/source-stepping rungs, iterative->LU fallbacks), measured
+    as the worker-local delta of the global solver stats around the task.
+    """
 
     index: int
     records: tuple[PointRecord, ...]
+    degradations: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -104,11 +118,21 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
     # Local import: repro.core.vco_experiment uses the studies package for its
     # own sweeps, so the dependency must not be circular at import time.
     from ..core.vco_experiment import VcoImpactAnalysis
+    from ..simulator.solver import SolverStats
+    from ..simulator.solver import stats as solver_stats
 
+    before = {name: getattr(solver_stats, name)
+              for name in SolverStats.DEGRADATION_COUNTERS}
     analysis = VcoImpactAnalysis(task.technology, spec=task.spec,
                                  options=task.options, flow_result=task.flow)
     spur_results, _vco, _catalog, _tf = analysis.analyze(
         task.vtune, np.asarray(task.noise_frequencies, dtype=float))
+    # Worker-local delta of the global counters: which robustness ladders
+    # this corner needed (zero deltas for a first-try-converged corner).
+    degradations = tuple(
+        (name, getattr(solver_stats, name) - before[name])
+        for name in SolverStats.DEGRADATION_COUNTERS
+        if getattr(solver_stats, name) > before[name])
     records = tuple(
         PointRecord(point_index=task.first_point_index + offset,
                     variant_index=task.variant_index,
@@ -119,7 +143,41 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
                     spur=spur)
         for offset, (frequency, spur)
         in enumerate(zip(task.noise_frequencies, spur_results)))
-    return TaskOutcome(index=task.index, records=records)
+    return TaskOutcome(index=task.index, records=records,
+                       degradations=degradations)
+
+
+class _Checkpointer:
+    """Streams completed corners into the crash journal (``on_result`` hook).
+
+    Buffers each settled task's records and flushes them as one atomic
+    journal segment every ``policy.every_corners`` corners or
+    ``policy.every_seconds`` seconds, whichever comes first.  The runner
+    flushes once more in a ``finally`` when the campaign ends, so even an
+    aborting run journals every corner that completed before the abort.
+    """
+
+    def __init__(self, journal: CampaignJournal, policy: CheckpointPolicy):
+        self.journal = journal
+        self.policy = policy
+        self._buffer: list[PointRecord] = []
+        self._corners_since_flush = 0
+        self._last_flush = time.monotonic()
+
+    def __call__(self, index: int, outcome: TaskOutcome) -> None:
+        self._buffer.extend(outcome.records)
+        self._corners_since_flush += 1
+        if (self._corners_since_flush >= self.policy.every_corners
+                or time.monotonic() - self._last_flush
+                >= self.policy.every_seconds):
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self.journal.append(self._buffer)
+            self._buffer = []
+        self._corners_since_flush = 0
+        self._last_flush = time.monotonic()
 
 
 class SweepRunner:
@@ -128,30 +186,57 @@ class SweepRunner:
     One runner can execute many campaigns; sharing its cache across campaigns
     is how a design session avoids re-extracting layouts it has already seen
     (the counters on ``runner.cache.stats`` record the traffic).
+
+    ``on_error`` selects the campaign failure policy (``"abort"``, ``"skip"``
+    or ``"retry_then_skip"``): under the skip policies a corner that exhausts
+    its attempts becomes a structured
+    :class:`~repro.errors.CornerFailure` on the (partial) result instead of
+    aborting the run.  ``fault_plan`` injects deterministic faults into the
+    sweep tasks (see :mod:`repro.studies.faults`) — test-harness machinery,
+    ``None`` in production.
     """
 
     def __init__(self, technology: ProcessTechnology,
                  backend: SweepBackend | None = None,
-                 cache: ExtractionCache | None = None):
+                 cache: ExtractionCache | None = None, *,
+                 on_error: str = ON_ERROR_ABORT,
+                 fault_plan: "FaultPlan | None" = None):
         self.technology = technology
         self.backend = SerialBackend() if backend is None else backend
         # Explicit None check: an empty cache is falsy (it has __len__).
         self.cache = ExtractionCache() if cache is None else cache
+        self.on_error = _check_policy(on_error)
+        self.fault_plan = fault_plan
+
+    def _task_fn(self):
+        """The (picklable) per-task callable, fault-wrapped when injecting."""
+        if self.fault_plan is None:
+            return _execute_task
+        return self.fault_plan.wrap(_execute_task)
 
     # -- extraction ----------------------------------------------------------
 
     def _extract_variants(self, campaign: Campaign,
-                          variants: list[LayoutVariant]) -> list[VariantRecord]:
+                          variants: list[LayoutVariant],
+                          ) -> tuple[list[VariantRecord],
+                                     dict[int, TaskFailure]]:
         """Resolve every variant to a flow, extracting cache misses in bulk.
 
         The misses are fanned out through the campaign backend: on a cold
         layout sweep with a process-pool backend, the per-variant extractions
         (the expensive half of a study) run in parallel, not just the
         simulations.
+
+        Under a skip policy an extraction that exhausts its attempts does not
+        abort: its variants come back with ``flow=None`` and the second
+        return value maps each affected variant index to the
+        :class:`~repro.studies.backends.TaskFailure` (the runner turns those
+        into per-corner failure records).
         """
         keys: list[str] = []
         resolved: dict[str, FlowResult] = {}
         hits: set[str] = set()
+        failed_keys: dict[str, TaskFailure] = {}
         pending: dict[str, ExtractionTask] = {}   # key -> task, deduplicated
         for variant in variants:
             cell = campaign.build_cell(variant)
@@ -170,16 +255,24 @@ class SweepRunner:
                     flow_options=variant.flow_options)
         tasks = list(pending.values())
         for key, flow in zip(pending, self.backend.run(_execute_extraction,
-                                                       tasks)):
+                                                       tasks,
+                                                       on_error=self.on_error)):
+            if isinstance(flow, TaskFailure):
+                failed_keys[key] = flow
+                continue
             self.cache.store(key, flow)
             resolved[key] = flow
-        return [VariantRecord(index=variant.index,
-                              knobs=dict(variant.knobs),
-                              spec=variant.spec,
-                              cache_key=key,
-                              flow=resolved[key],
-                              from_cache=key in hits)
-                for variant, key in zip(variants, keys)]
+        failures = {variant.index: failed_keys[key]
+                    for variant, key in zip(variants, keys)
+                    if key in failed_keys}
+        return ([VariantRecord(index=variant.index,
+                               knobs=dict(variant.knobs),
+                               spec=variant.spec,
+                               cache_key=key,
+                               flow=resolved.get(key),
+                               from_cache=key in hits)
+                 for variant, key in zip(variants, keys)],
+                failures)
 
     # -- task fan-out --------------------------------------------------------
 
@@ -187,18 +280,24 @@ class SweepRunner:
                      variants: list[LayoutVariant],
                      extracted: list[VariantRecord],
                      skip: frozenset[tuple[int, float, float]] = frozenset(),
+                     unavailable: frozenset[int] = frozenset(),
                      ) -> list[SweepTask]:
         """One task per pending (variant, power, vtune) corner.
 
         ``skip`` holds corners an earlier (persisted) run already completed;
         their tasks are omitted but the deterministic global point indexing
         still advances past them, so merged records line up exactly with a
-        never-interrupted run.
+        never-interrupted run.  ``unavailable`` holds variant indices whose
+        extraction failed under a skip policy — their corners are omitted too
+        (the runner records them as failures instead).
         """
         powers, vtunes, frequencies = campaign.sim_grid()
         tasks: list[SweepTask] = []
         point_index = 0
         for variant, record in zip(variants, extracted):
+            if variant.index in unavailable:
+                point_index += len(powers) * len(vtunes) * len(frequencies)
+                continue
             for power in powers:
                 options = replace(campaign.options,
                                   injected_power_dbm=power,
@@ -269,7 +368,8 @@ class SweepRunner:
     # -- execution -----------------------------------------------------------
 
     def run(self, campaign: Campaign,
-            resume_from: SweepResult | None = None) -> SweepResult:
+            resume_from: SweepResult | None = None,
+            checkpoint: CheckpointPolicy | None = None) -> SweepResult:
         """Execute the campaign and aggregate its tidy result.
 
         With ``resume_from`` (a previously persisted, possibly partial result
@@ -277,6 +377,15 @@ class SweepRunner:
         skipped entirely — their variants are not even re-extracted — and the
         stored records are merged with the freshly computed ones into one
         complete result.
+
+        With ``checkpoint``, completed corners stream into an atomic
+        crash-recovery journal at ``checkpoint.path`` while the campaign
+        runs; corners already journaled there (by a previous run killed
+        mid-campaign) are recovered first and not recomputed, so a ``kill
+        -9`` loses at most one checkpoint interval.  The journal survives
+        this call — discard it (:meth:`CampaignJournal.discard
+        <repro.studies.persist.CampaignJournal.discard>`) once the returned
+        result has been saved.
         """
         start = time.perf_counter()
         hits_before = self.cache.hits
@@ -286,28 +395,95 @@ class SweepRunner:
         powers, vtunes, frequencies = campaign.sim_grid()
         done = self._completed_corners(campaign, resume_from, len(frequencies))
 
+        prior_records: list[PointRecord] = []
+        if resume_from is not None:
+            prior_records.extend(
+                record for record in resume_from.records
+                if (record.variant_index, record.injected_power_dbm,
+                    record.vtune) in done)
+
+        checkpointer: _Checkpointer | None = None
+        if checkpoint is not None:
+            fingerprint = campaign.fingerprint()
+            recovered = CampaignJournal.recover(checkpoint.path,
+                                                fingerprint=fingerprint)
+            seen_points = {record.point_index for record in prior_records}
+            recovered = [record for record in recovered
+                         if record.point_index not in seen_points]
+            counts: dict[tuple[int, float, float], int] = {}
+            for record in recovered:
+                corner = (record.variant_index, record.injected_power_dbm,
+                          record.vtune)
+                counts[corner] = counts.get(corner, 0) + 1
+            journaled = frozenset(corner for corner, count in counts.items()
+                                  if count >= len(frequencies))
+            done |= journaled
+            prior_records.extend(
+                record for record in recovered
+                if (record.variant_index, record.injected_power_dbm,
+                    record.vtune) in journaled)
+            journal = CampaignJournal(checkpoint.path,
+                                      campaign_name=campaign.name,
+                                      fingerprint=fingerprint)
+            journal.open()
+            checkpointer = _Checkpointer(journal, checkpoint)
+
         pending_variants = [
             variant for variant in variants
             if any((variant.index, power, vtune) not in done
                    for power in powers for vtune in vtunes)]
-        extracted = {record.index: record
-                     for record in self._extract_variants(campaign,
-                                                          pending_variants)}
+        extracted_records, failed_extractions = self._extract_variants(
+            campaign, pending_variants)
+        extracted = {record.index: record for record in extracted_records}
         variant_records = [
             extracted.get(variant.index)
             or self._carried_variant(variant, resume_from)
             for variant in variants]
         tasks = self._build_tasks(campaign, variants, variant_records,
-                                  skip=done)
-        outcomes = self.backend.run(_execute_task, tasks)
+                                  skip=done,
+                                  unavailable=frozenset(failed_extractions))
 
-        records: list[PointRecord] = []
-        if resume_from is not None:
-            records.extend(
-                record for record in resume_from.records
-                if (record.variant_index, record.injected_power_dbm,
-                    record.vtune) in done)
-        for outcome in sorted(outcomes, key=lambda o: o.index):
+        # One failure record per pending corner of a failed extraction: the
+        # corner never ran, and a later ``resume`` re-attempts exactly it.
+        failures: list[CornerFailure] = []
+        for variant in variants:
+            extraction_failure = failed_extractions.get(variant.index)
+            if extraction_failure is None:
+                continue
+            failures.extend(
+                extraction_failure.as_corner_failure(
+                    variant_index=variant.index,
+                    injected_power_dbm=power, vtune=vtune)
+                for power in powers for vtune in vtunes
+                if (variant.index, power, vtune) not in done)
+
+        try:
+            outcomes = self.backend.run(self._task_fn(), tasks,
+                                        on_error=self.on_error,
+                                        on_result=checkpointer)
+        finally:
+            # Journal every corner that completed, even when aborting: the
+            # next run recovers them instead of recomputing.
+            if checkpointer is not None:
+                checkpointer.flush()
+
+        degradations: dict[str, int] = dict(
+            resume_from.solver_degradations) if resume_from else {}
+        successes: list[TaskOutcome] = []
+        for outcome in outcomes:
+            if isinstance(outcome, TaskFailure):
+                task = tasks[outcome.index]
+                failures.append(outcome.as_corner_failure(
+                    variant_index=task.variant_index,
+                    injected_power_dbm=task.injected_power_dbm,
+                    vtune=task.vtune))
+            else:
+                successes.append(outcome)
+                for name, count in outcome.degradations:
+                    degradations[name] = degradations.get(name, 0) + count
+
+        records = list(prior_records)
+        for outcome in sorted(successes, key=lambda o: o.index):
             records.extend(outcome.records)
         records.sort(key=lambda record: record.point_index)
         return SweepResult(
@@ -319,4 +495,6 @@ class SweepRunner:
             wall_seconds=time.perf_counter() - start,
             cache_hits=self.cache.hits - hits_before,
             cache_misses=self.cache.misses - misses_before,
-            campaign_spec=campaign.describe())
+            campaign_spec=campaign.describe(),
+            failures=failures,
+            solver_degradations=degradations)

@@ -36,6 +36,7 @@ Robustness properties:
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import os
@@ -48,6 +49,7 @@ from pathlib import Path
 from typing import Callable, Iterator
 
 from ..core.flow import FlowResult, run_extraction_flow
+from ..errors import AnalysisError
 from .cache import CacheStats, ExtractionCache
 
 #: Version of the on-disk entry format.  Bump when the envelope layout or the
@@ -261,10 +263,57 @@ class DiskExtractionCache(ExtractionCache):
 
     # -- maintenance ---------------------------------------------------------
 
+    #: A maintenance lock older than this is presumed orphaned by a killed
+    #: process and is stolen rather than waited on forever.
+    _LOCK_STALE_SECONDS = 60.0
+
+    @contextlib.contextmanager
+    def maintenance_lock(self, timeout: float = 10.0):
+        """Advisory ``.lock`` sentinel serialising destructive maintenance.
+
+        ``prune`` and ``clear`` of *concurrent processes sharing one cache
+        directory* acquire this before deleting entries, so two overlapping
+        prunes cannot double-count evictions or race each other's directory
+        scans.  It is advisory only: readers and writers (``lookup`` /
+        ``store``) never take it — their atomic per-entry files already make
+        them safe against a concurrent prune.  A lock left behind by a
+        killed process goes stale after an age bound and is stolen, not
+        waited on forever.
+        """
+        lock = self.cache_dir / ".lock"
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                descriptor = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(descriptor, str(os.getpid()).encode())
+                os.close(descriptor)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released it: retry at once
+                if age > self._LOCK_STALE_SECONDS:
+                    lock.unlink(missing_ok=True)
+                    continue
+                if time.monotonic() > deadline:
+                    raise AnalysisError(
+                        f"extraction cache {self.cache_dir} is locked by "
+                        "another maintenance operation (.lock held "
+                        f"{age:.0f}s); retry later or remove the lock "
+                        "file if its owner is gone"
+                    ) from None
+                time.sleep(0.05)
+        try:
+            yield
+        finally:
+            lock.unlink(missing_ok=True)
+
     def clear(self) -> None:
         """Remove every entry (memory and disk) and reset the counters."""
-        for path in self._entry_files():
-            path.unlink(missing_ok=True)
+        with self.maintenance_lock():
+            for path in self._entry_files():
+                path.unlink(missing_ok=True)
         self._entries.clear()
         self.stats.reset()
 
@@ -277,8 +326,17 @@ class DiskExtractionCache(ExtractionCache):
 
         ``max_entries`` keeps only the most recently touched entries;
         ``max_age_seconds`` drops entries older than the given age.  Both
-        criteria may be combined; with neither, nothing is removed.
+        criteria may be combined; with neither, nothing is removed.  The
+        scan-and-delete runs under :meth:`maintenance_lock`.
         """
+        with self.maintenance_lock():
+            return self._prune_locked(max_entries, max_age_seconds)
+
+    def _prune_locked(
+        self,
+        max_entries: int | None,
+        max_age_seconds: float | None,
+    ) -> tuple[int, int]:
         stamped = []
         for path in self._entry_files():
             stat = path.stat()

@@ -316,11 +316,12 @@ class _CountingBackend(SerialBackend):
     """Serial backend that records how many tasks it actually executed."""
 
     def __init__(self):
+        super().__init__()
         self.executed = 0
 
-    def run(self, fn, tasks):
+    def run(self, fn, tasks, **kwargs):
         self.executed += len(tasks)
-        return super().run(fn, tasks)
+        return super().run(fn, tasks, **kwargs)
 
 
 def test_resume_after_kill_completes_only_missing_corners(
