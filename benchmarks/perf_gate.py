@@ -17,6 +17,13 @@ stage is noise, not a finding.  The default 2.5x threshold is deliberately
 loose for the same reason; genuine algorithmic regressions (the kind PR 1
 fixed, 33x) clear it with room to spare.
 
+Per-stage gating: the flow section's ``extraction_breakdown`` /
+``simulation_breakdown`` stages are fed by the span tracer
+(``repro.obs``), so individual stages (Kron reduction, mesh assembly,
+simulation setup, solver factorize/solve) are gated alongside the section
+totals.  Breakdown stages use ``--stage-min-delta`` as their jitter floor
+(they are smaller and noisier than section totals).
+
 The comparison is printed as a markdown table and, when running under
 GitHub Actions (``GITHUB_STEP_SUMMARY`` set), appended to the job summary.
 Exit status: 0 when no metric regresses, 1 otherwise.
@@ -50,8 +57,11 @@ def flatten_seconds(snapshot: dict, prefix: str = "") -> dict[str, float]:
 
 
 def compare(baseline: dict[str, float], current: dict[str, float],
-            threshold: float, min_delta: float) -> tuple[list[dict], bool]:
+            threshold: float, min_delta: float,
+            stage_min_delta: float | None = None) -> tuple[list[dict], bool]:
     """Row-per-metric delta table; second return is "any regression"."""
+    if stage_min_delta is None:
+        stage_min_delta = min_delta
     rows = []
     regressed = False
     for name in sorted(set(baseline) | set(current)):
@@ -62,8 +72,9 @@ def compare(baseline: dict[str, float], current: dict[str, float],
                          "ratio": None,
                          "status": "new" if base is None else "removed"})
             continue
+        floor = stage_min_delta if "_breakdown." in name else min_delta
         ratio = now / base if base > 0 else float("inf")
-        bad = ratio > threshold and (now - base) > min_delta
+        bad = ratio > threshold and (now - base) > floor
         regressed = regressed or bad
         rows.append({"metric": name, "baseline": base, "current": now,
                      "ratio": ratio, "status": "REGRESSED" if bad else "ok"})
@@ -106,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-delta", type=float, default=0.05,
                         help="ignore regressions smaller than this many "
                              "seconds in absolute terms (CI jitter floor)")
+    parser.add_argument("--stage-min-delta", type=float, default=0.1,
+                        help="jitter floor for span-fed per-stage breakdown "
+                             "metrics (*_breakdown.*; default: 0.1)")
     parser.add_argument("--section", choices=sorted(run_bench.SECTIONS),
                         action="append", default=None,
                         help="gate only the named section(s); repeatable")
@@ -135,7 +149,8 @@ def main(argv: list[str] | None = None) -> int:
          if name in current_snapshot})
 
     rows, regressed = compare(baseline_metrics, current_metrics,
-                              args.threshold, args.min_delta)
+                              args.threshold, args.min_delta,
+                              stage_min_delta=args.stage_min_delta)
     table = markdown_table(rows, args.threshold)
     print(table)
 

@@ -32,6 +32,7 @@ import numpy as np  # noqa: E402
 from repro.core.flow import run_extraction_flow  # noqa: E402
 from repro.core.vco_experiment import VcoExperimentOptions, VcoImpactAnalysis  # noqa: E402
 from repro.layout.testchips import make_vco_testchip  # noqa: E402
+from repro.obs import span_aggregates, tracer  # noqa: E402
 from repro.simulator.solver import stats  # noqa: E402
 from repro.technology import make_technology  # noqa: E402
 
@@ -39,33 +40,57 @@ from _report import NOISE_FREQUENCIES  # noqa: E402
 from test_solver_micro import GRID_SIZE, run_solver_micro_stages  # noqa: E402
 
 
+def _span_seconds(aggregates: dict, name: str) -> float:
+    return aggregates.get(name, {}).get("total_seconds", 0.0)
+
+
 def _bench_flow() -> dict:
+    """Figure-10 runtime flow, with stage breakdowns from the span tracer.
+
+    The breakdown keys are ``_seconds``-suffixed so ``perf_gate.py`` gates
+    every stage individually — including ``mesh_assembly`` / ``kron_reduction``
+    and the simulation setup that the pre-tracer breakdown under-accounted.
+    """
     technology = make_technology()
     options = VcoExperimentOptions(vtune_values=(0.0, 0.75, 1.5),
                                    noise_frequencies=NOISE_FREQUENCIES)
     cell = make_vco_testchip()
 
-    start = time.perf_counter()
-    flow = run_extraction_flow(cell, technology, options=options.flow)
-    extraction_seconds = time.perf_counter() - start
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        start = time.perf_counter()
+        flow = run_extraction_flow(cell, technology, options=options.flow)
+        extraction_seconds = time.perf_counter() - start
 
-    stats.reset()
-    start = time.perf_counter()
-    analysis = VcoImpactAnalysis(technology, options=options, flow_result=flow)
-    analysis.spur_sweep(vtune_values=(0.0,),
-                        noise_frequencies=np.asarray(NOISE_FREQUENCIES))
-    simulation_seconds = time.perf_counter() - start
+        stats.reset()
+        sim_mark = tracer.mark()
+        start = time.perf_counter()
+        analysis = VcoImpactAnalysis(technology, options=options,
+                                     flow_result=flow)
+        analysis.spur_sweep(vtune_values=(0.0,),
+                            noise_frequencies=np.asarray(NOISE_FREQUENCIES))
+        simulation_seconds = time.perf_counter() - start
+        aggregates = span_aggregates(tracer.spans_since(sim_mark))
+    finally:
+        if not was_enabled:
+            tracer.disable()
 
     return {
         "extraction_seconds": extraction_seconds,
         "total_seconds": extraction_seconds + simulation_seconds,
-        "extraction_breakdown": {
-            "substrate": flow.timings.substrate_extraction,
-            "interconnect": flow.timings.interconnect_extraction,
-            "circuit": flow.timings.circuit_extraction,
-            "merge": flow.timings.merge,
-        },
+        # FlowTimings.as_dict() is span-fed and already ``_seconds``-suffixed;
+        # mesh_assembly / kron_reduction are sub-stages *inside* substrate.
+        "extraction_breakdown": flow.timings.as_dict(),
         "simulation_seconds": simulation_seconds,
+        "simulation_breakdown": {
+            "setup_seconds": _span_seconds(aggregates, "sim.setup"),
+            "transfer_function_seconds": _span_seconds(
+                aggregates, "sim.transfer_function"),
+            "solver_factorize_seconds": _span_seconds(
+                aggregates, "solver.factorize"),
+            "solver_solve_seconds": _span_seconds(aggregates, "solver.solve"),
+        },
         "simulation_solver_counters": {
             "factorizations": stats.factorizations,
             "solves": stats.solves,

@@ -41,6 +41,7 @@ from ..analysis.spectrum import Spectrum, compute_spectrum
 from ..analysis.waveforms import SinusoidalNoise
 from ..data import measurements
 from ..errors import AnalysisError
+from ..obs import trace_span
 from ..layout.testchips import (
     NET_BIAS,
     NET_GROUND_PAD,
@@ -280,17 +281,22 @@ class VcoImpactAnalysis:
             noise_frequencies = np.asarray(self.options.noise_frequencies)
         noise_frequencies = np.asarray(noise_frequencies, dtype=float)
 
-        circuit = self.build_testbench(vtune)
-        operating_point = dc_operating_point(circuit, solver=self.solver)
-        self._operating_points[vtune] = operating_point
+        # Simulation setup: testbench assembly plus the DC operating point
+        # (the Newton solve) — the part of a corner that is not the AC sweep.
+        with trace_span("sim.setup", vtune=vtune):
+            circuit = self.build_testbench(vtune)
+            operating_point = dc_operating_point(circuit, solver=self.solver)
+            self._operating_points[vtune] = operating_point
 
-        vco = self.vco_model(operating_point)
-        catalog = self.entry_catalog(vco, vtune)
-        transfer = transfer_function(circuit, "VSUB_SRC",
-                                     catalog.observation_nodes(),
-                                     noise_frequencies,
-                                     operating_point=operating_point,
-                                     solver=self.solver)
+            vco = self.vco_model(operating_point)
+            catalog = self.entry_catalog(vco, vtune)
+        with trace_span("sim.transfer_function",
+                        points=int(noise_frequencies.size)):
+            transfer = transfer_function(circuit, "VSUB_SRC",
+                                         catalog.observation_nodes(),
+                                         noise_frequencies,
+                                         operating_point=operating_point,
+                                         solver=self.solver)
         carrier_frequency = vco.oscillation_frequency(vtune)
         carrier_amplitude = vco.amplitude(vtune)
         noise_amplitude = self._noise.amplitude

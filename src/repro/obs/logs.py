@@ -1,0 +1,78 @@
+"""Tree-wide ``logging`` setup under the ``repro.`` namespace.
+
+Every module gets its logger with::
+
+    from ..obs import get_logger
+    logger = get_logger(__name__)
+
+which lands under the ``repro`` root logger, so one
+:func:`configure_logging` call (wired to ``repro-campaign -v/-q``)
+controls the whole tree.  Libraries embedding repro can instead attach
+their own handlers to the ``repro`` logger; ``configure_logging`` is
+idempotent and never duplicates handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Module logger under the ``repro`` namespace.
+
+    Accepts ``__name__`` (already ``repro.x.y`` inside the package), a bare
+    suffix like ``"studies.store"`` or ``None`` for the root logger.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count to a logging level.
+
+    -1 and below (``-q``) → ERROR, 0 → WARNING, 1 (``-v``) → INFO,
+    2 and above (``-vv``) → DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger and set the level.
+
+    Repeated calls adjust the level (and stream) instead of stacking
+    handlers, so tests and long-lived sessions can reconfigure freely.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(verbosity_to_level(verbosity))
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_FLAG, True)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    # The handler stays wide open; the logger level does the filtering.
+    handler.setLevel(logging.NOTSET)
+    return root

@@ -1,0 +1,158 @@
+"""Structured JSONL run logs, fingerprint-stamped like the journal.
+
+One run log per campaign run, written next to the result sidecar as
+``<result stem>.runlog.jsonl``.  The first line is a ``campaign_start``
+header carrying the format version and the campaign's content fingerprint
+(the same :func:`repro.studies.cache.fingerprint` value the journal and
+the ``.meta.json`` sidecar are stamped with), so a log can always be
+matched to the campaign definition that produced it.
+
+Each subsequent line is one event — corner start / finish / retry /
+timeout / degradation / failure, span dumps, and a ``campaign_finish``
+trailer.  Every line is a single ``write()`` of one ``\\n``-terminated
+JSON object on an append-mode descriptor, so concurrent readers (``tail
+-f``, the ``trace export`` subcommand on a live run) never see a torn
+line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "RUNLOG_FORMAT_VERSION",
+    "RUNLOG_KIND",
+    "EVENT_KINDS",
+    "RunLogWriter",
+    "runlog_path_for",
+    "read_run_log",
+    "validate_run_log",
+]
+
+RUNLOG_FORMAT_VERSION = 1
+RUNLOG_KIND = "repro-campaign-runlog"
+
+EVENT_KINDS = (
+    "campaign_start",
+    "corner_start",
+    "corner_finish",
+    "corner_retry",
+    "corner_timeout",
+    "corner_degradation",
+    "corner_failure",
+    "span",
+    "campaign_finish",
+)
+
+
+def runlog_path_for(result_path: str | os.PathLike) -> Path:
+    """Run-log path next to a result file: ``fig8_result.runlog.jsonl``."""
+    result_path = Path(result_path)
+    stem = result_path.name
+    if stem.endswith(".npz"):
+        stem = stem[: -len(".npz")]
+    return result_path.parent / f"{stem}.runlog.jsonl"
+
+
+class RunLogWriter:
+    """Append-only JSONL event stream for one campaign run."""
+
+    def __init__(self, path: str | os.PathLike, *, campaign: str = "",
+                 fingerprint: str = "", **header):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A new run supersedes any previous log for the same result path.
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC
+                           | os.O_APPEND, 0o644)
+        self._seq = 0
+        self.emit("campaign_start", kind=RUNLOG_KIND,
+                  format=RUNLOG_FORMAT_VERSION, campaign=campaign,
+                  fingerprint=fingerprint, **header)
+
+    def emit(self, event: str, **payload) -> None:
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown run-log event {event!r}")
+        if self._fd is None:
+            return
+        record = {"event": event, "seq": self._seq, "t": time.time()}
+        record.update(payload)
+        self._seq += 1
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        os.write(self._fd, (line + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_run_log(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL run log back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            events.append(record)
+    return events
+
+
+def validate_run_log(events: list[dict], *,
+                     expected_corners: int | None = None) -> list[str]:
+    """Schema-check a parsed run log; returns a list of problems ([] = OK)."""
+    problems: list[str] = []
+    if not events:
+        return ["run log is empty"]
+    header = events[0]
+    if header.get("event") != "campaign_start":
+        problems.append("first event is not campaign_start")
+    else:
+        if header.get("kind") != RUNLOG_KIND:
+            problems.append(f"header kind is {header.get('kind')!r}")
+        if header.get("format") != RUNLOG_FORMAT_VERSION:
+            problems.append(f"unsupported format {header.get('format')!r}")
+        if not header.get("fingerprint"):
+            problems.append("header has no campaign fingerprint")
+    last_seq = -1
+    for index, event in enumerate(events):
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            problems.append(f"event {index}: unknown kind {kind!r}")
+        for field in ("seq", "t"):
+            if field not in event:
+                problems.append(f"event {index}: missing {field!r}")
+        seq = event.get("seq", -1)
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(f"event {index}: seq not increasing")
+            last_seq = seq
+        if kind in ("corner_start", "corner_finish", "corner_retry",
+                    "corner_timeout", "corner_failure") \
+                and "corner" not in event:
+            problems.append(f"event {index}: {kind} without corner payload")
+    finishes = [e for e in events if e.get("event") == "corner_finish"]
+    if expected_corners is not None and len(finishes) != expected_corners:
+        problems.append(
+            f"expected {expected_corners} corner_finish events, "
+            f"found {len(finishes)}")
+    if events[-1].get("event") != "campaign_finish":
+        problems.append("last event is not campaign_finish")
+    return problems

@@ -46,6 +46,7 @@ _CG_RTOL_KEYWORD = ("rtol" if "rtol" in inspect.signature(spla.cg).parameters
                     else "tol")
 
 from ...errors import SimulationError
+from ...obs import get_logger, trace_span
 from ..solver import (
     Factorization,
     SolverStats,
@@ -60,6 +61,8 @@ from .options import (
     BACKEND_REUSE_LU,
     SolverOptions,
 )
+
+logger = get_logger(__name__)
 
 
 class LinearSolver:
@@ -178,7 +181,8 @@ class _PermutedLU:
             raise SimulationError(
                 f"RHS length {rhs.shape[0]} does not match matrix size "
                 f"{self.shape[0]}")
-        solution = self._raw_solve(rhs)
+        with trace_span("solver.solve"):
+            solution = self._raw_solve(rhs)
         if self._perm is not None:
             unpermuted = np.empty_like(solution)
             unpermuted[self._perm] = solution
@@ -280,7 +284,8 @@ class ReusePatternLUSolver(LinearSolver):
         key = self._pattern_key(csc)
         record = self._patterns.get(key)
         if record is None:
-            lu = self._splu(csc, structure)
+            with trace_span("solver.factorize"):
+                lu = self._splu(csc, structure)
             self._remember(key, csc, np.asarray(lu.perm_c))
             self._bump("factorizations")
             return _PermutedLU(lu, None, csc, structure, self._sinks)
@@ -290,8 +295,9 @@ class ReusePatternLUSolver(LinearSolver):
         # bit-identical to a fresh direct factorization, minus its COLAMD
         # run.  The gather writes into the record's preallocated scaffold
         # (splu copies what it needs, so reusing the buffer is safe).
-        np.take(csc.data, record.gather, out=record.matrix.data)
-        lu = self._splu(record.matrix, structure, permc_spec="NATURAL")
+        with trace_span("solver.refactorize"):
+            np.take(csc.data, record.gather, out=record.matrix.data)
+            lu = self._splu(record.matrix, structure, permc_spec="NATURAL")
         self._bump("factorizations")
         self._bump("pattern_reuses")
         return _PermutedLU(lu, record.order, csc, structure, self._sinks)
@@ -347,9 +353,10 @@ class _CgFactorization:
 
         tolerances = {_CG_RTOL_KEYWORD: options.cg_rtol,
                       "atol": options.cg_atol}
-        solution, info = spla.cg(self._csc, rhs, maxiter=self._maxiter,
-                                 M=self._preconditioner, callback=count,
-                                 **tolerances)
+        with trace_span("solver.cg"):
+            solution, info = spla.cg(self._csc, rhs, maxiter=self._maxiter,
+                                     M=self._preconditioner, callback=count,
+                                     **tolerances)
         self._solver._bump("cg_iterations", iterations)
         if info != 0:
             return self._fallback_lu().solve(rhs)
@@ -437,9 +444,15 @@ class IterativeSolver(LinearSolver):
             if preconditioner is not None:
                 return True, preconditioner
             if name == "amg":
+                # Warn (visible to interactive callers) *and* log with
+                # structured context (machine-readable in run logs).
                 warnings.warn(
                     "pyamg is not installed; the 'amg' preconditioner falls "
                     "back to incomplete LU", RuntimeWarning, stacklevel=4)
+                logger.warning(
+                    "preconditioner fallback: requested=%s actual=%s "
+                    "reason=%s n=%d", name, "ilu", "pyamg not installed",
+                    csc.shape[0])
         try:
             # SymmetricMode + no diagonal pivoting keeps the incomplete
             # factorization (approximately) symmetric — an incomplete-Cholesky
@@ -464,7 +477,8 @@ class IterativeSolver(LinearSolver):
         if not self._spd_candidate(csc):
             return self._degraded_factorize(
                 csc, structure, reason="matrix is not SPD-eligible for CG")
-        ok, preconditioner = self._make_preconditioner(csc)
+        with trace_span("solver.precondition"):
+            ok, preconditioner = self._make_preconditioner(csc)
         if not ok:
             return self._degraded_factorize(
                 csc, structure, reason="ILU preconditioner broke down")
@@ -493,6 +507,8 @@ class IterativeSolver(LinearSolver):
             raise SimulationError(
                 f"{reason} and iterative_fallback is disabled")
         self._bump("fallbacks")
+        logger.info("solver degradation: backend=%s rung=%s reason=%s n=%d",
+                    self.name, "reuse-lu", reason, csc.shape[0])
         try:
             return self._reuse_lu().factorize(csc, structure=structure)
         except SimulationError:
@@ -500,6 +516,9 @@ class IterativeSolver(LinearSolver):
             # the cached ordering); one plain direct factorization is the
             # last rung before the error reaches the caller.
             self._bump("fallback_direct")
+            logger.warning(
+                "solver degradation: backend=%s rung=%s reason=%s n=%d",
+                self.name, "direct", "reuse-LU rung failed", csc.shape[0])
             return Factorization(csc, structure=structure, sinks=self._sinks)
 
 

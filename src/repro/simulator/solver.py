@@ -35,6 +35,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SimulationError
+from ..obs import trace_span
 
 
 @dataclass
@@ -152,7 +153,8 @@ class Factorization:
             # free of warnings-filter mutation, which is interpreter-global
             # and not thread-safe under the per-frequency AC fan-out).
             try:
-                self._lu = spla.splu(self._matrix)
+                with trace_span("solver.factorize"):
+                    self._lu = spla.splu(self._matrix)
             except RuntimeError as exc:
                 raise SimulationError(
                     f"sparse factorization failed: {exc}"
@@ -169,13 +171,15 @@ class Factorization:
                 f"{self.shape[0]}")
         if self._lu is None:
             return np.zeros_like(rhs)
-        if np.iscomplexobj(rhs) and not self._complex:
-            solution = (self._lu.solve(np.ascontiguousarray(rhs.real))
-                        + 1j * self._lu.solve(np.ascontiguousarray(rhs.imag)))
-        else:
-            if self._complex and not np.iscomplexobj(rhs):
-                rhs = rhs.astype(complex)
-            solution = self._lu.solve(np.ascontiguousarray(rhs))
+        with trace_span("solver.solve"):
+            if np.iscomplexobj(rhs) and not self._complex:
+                solution = (self._lu.solve(np.ascontiguousarray(rhs.real))
+                            + 1j * self._lu.solve(
+                                np.ascontiguousarray(rhs.imag)))
+            else:
+                if self._complex and not np.iscomplexobj(rhs):
+                    rhs = rhs.astype(complex)
+                solution = self._lu.solve(np.ascontiguousarray(rhs))
         for sink in self._sinks:
             sink.solves += 1
         return _check_finite(solution, self._matrix, self._structure)

@@ -52,6 +52,9 @@ from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, TypeVar
 
 from ..errors import AnalysisError, CampaignError, CornerFailure, TaskTimeoutError
+from ..obs import get_logger
+
+logger = get_logger(__name__)
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -153,23 +156,35 @@ def _give_up(task, attempts: int, exc: BaseException) -> None:
 
 def _run_with_retries(fn: Callable[[TaskT], ResultT], task: TaskT,
                       index: int, attempts: list[int], retries: int,
-                      policy: str) -> "ResultT | TaskFailure":
+                      policy: str,
+                      on_start: Callable[[int, int], None] | None = None,
+                      ) -> "ResultT | TaskFailure":
     """In-process attempt loop shared by the serial and single-worker paths.
 
     Retries on ``Exception`` only — ``KeyboardInterrupt`` / ``SystemExit``
     (and any other ``BaseException``) always propagate, whatever the policy:
     a Ctrl-C must stop the campaign, not be recorded as a corner failure.
+    ``on_start(index, attempt)`` fires before every attempt (attempt >= 1).
     """
     budget = _effective_retries(retries, policy)
     while True:
         attempts[index] += 1
+        if on_start is not None:
+            on_start(index, attempts[index])
         try:
             return fn(task)
         except Exception as exc:
             if attempts[index] <= budget:
+                logger.info(
+                    "task retry: corner=%s attempt=%d/%d error=%s",
+                    _task_label(task), attempts[index], budget + 1,
+                    type(exc).__name__)
                 continue
             if policy == ON_ERROR_ABORT:
                 _give_up(task, attempts[index], exc)
+            logger.warning(
+                "task exhausted: corner=%s attempts=%d error=%s policy=%s",
+                _task_label(task), attempts[index], type(exc).__name__, policy)
             return _failure_record(index, task, attempts[index], exc)
 
 
@@ -180,12 +195,16 @@ class SweepBackend(Protocol):
             tasks: Sequence[TaskT], *,
             on_error: str = ON_ERROR_ABORT,
             on_result: Callable[[int, ResultT], None] | None = None,
+            on_start: Callable[[int, int], None] | None = None,
             ) -> "list[ResultT | TaskFailure]":
         """Apply ``fn`` to every task, returning outcomes in task order.
 
         Under the skip policies a failed task's slot holds a
         :class:`TaskFailure` instead of a result.  ``on_result(index,
-        result)`` is called in the parent process as each task *succeeds*.
+        result)`` is called in the parent process as each task *succeeds*;
+        ``on_start(index, attempt)`` in the parent process as each attempt
+        is started / submitted (``attempt`` counts from 1, so observers can
+        distinguish first runs from retries).
         """
         ...
 
@@ -214,6 +233,7 @@ class SerialBackend:
             tasks: Sequence[TaskT], *,
             on_error: str = ON_ERROR_ABORT,
             on_result: Callable[[int, ResultT], None] | None = None,
+            on_start: Callable[[int, int], None] | None = None,
             ) -> "list[ResultT | TaskFailure]":
         policy = _check_policy(on_error)
         attempts = [0] * len(tasks)
@@ -221,7 +241,7 @@ class SerialBackend:
         results: list = []
         for index, task in enumerate(tasks):
             outcome = _run_with_retries(fn, task, index, attempts,
-                                        self.retries, policy)
+                                        self.retries, policy, on_start)
             results.append(outcome)
             if on_result is not None and not isinstance(outcome, TaskFailure):
                 on_result(index, outcome)
@@ -308,6 +328,7 @@ class ProcessPoolBackend:
             tasks: Sequence[TaskT], *,
             on_error: str = ON_ERROR_ABORT,
             on_result: Callable[[int, ResultT], None] | None = None,
+            on_start: Callable[[int, int], None] | None = None,
             ) -> "list[ResultT | TaskFailure]":
         policy = _check_policy(on_error)
         attempts = [0] * len(tasks)
@@ -322,7 +343,7 @@ class ProcessPoolBackend:
             results = []
             for index, task in enumerate(tasks):
                 outcome = _run_with_retries(fn, task, index, attempts,
-                                            self.retries, policy)
+                                            self.retries, policy, on_start)
                 results.append(outcome)
                 if on_result is not None \
                         and not isinstance(outcome, TaskFailure):
@@ -337,7 +358,7 @@ class ProcessPoolBackend:
             # they succeed or exhaust their retries.
             remaining, causes = self._pool_round(fn, tasks, results, attempts,
                                                  remaining, n_workers, budget,
-                                                 policy, on_result)
+                                                 policy, on_result, on_start)
             exhausted = [index for index in remaining
                          if attempts[index] > budget]
             if exhausted:
@@ -351,6 +372,9 @@ class ProcessPoolBackend:
                              if index not in set(exhausted)]
             if remaining:
                 self.pool_rebuilds += 1
+                logger.warning(
+                    "worker pool rebuild: rebuilds=%d unfinished_tasks=%d",
+                    self.pool_rebuilds, len(remaining))
                 self._backoff_sleep(self.pool_rebuilds)
         return results
 
@@ -381,7 +405,7 @@ class ProcessPoolBackend:
                     tasks: Sequence[TaskT], results: list,
                     attempts: list[int], indices: list[int],
                     n_workers: int, budget: int, policy: str,
-                    on_result,
+                    on_result, on_start=None,
                     ) -> tuple[list[int], dict[int, BaseException]]:
         """One executor lifetime; returns (unfinished indices, their causes).
 
@@ -395,6 +419,8 @@ class ProcessPoolBackend:
 
             def submit(index: int):
                 attempts[index] += 1
+                if on_start is not None:
+                    on_start(index, attempts[index])
                 future = pool.submit(fn, tasks[index])
                 pending[future] = index
                 if self.task_timeout is not None:
@@ -435,6 +461,10 @@ class ProcessPoolBackend:
                         return self._drain_broken(index, exc, pending,
                                                   results, on_result)
                     elif attempts[index] <= budget:
+                        logger.info(
+                            "task retry: corner=%s attempt=%d/%d error=%s",
+                            _task_label(tasks[index]), attempts[index] + 1,
+                            budget + 1, type(exc).__name__)
                         try:
                             submit(index)
                         except BrokenProcessPool as submit_exc:
@@ -459,6 +489,9 @@ class ProcessPoolBackend:
         on the hung task — the pool is unusable afterwards and the caller
         builds a fresh one.
         """
+        logger.warning(
+            "task timeout: hung_tasks=%d task_timeout=%gs action=%s",
+            len(hung), self.task_timeout, "kill workers, recycle pool")
         timeout_exc = TaskTimeoutError(
             f"task exceeded task_timeout={self.task_timeout:g} s; its worker "
             "was killed and the pool recycled")

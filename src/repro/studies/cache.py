@@ -30,6 +30,7 @@ import numpy as np
 from ..core.flow import FlowOptions, FlowResult, run_extraction_flow
 from ..errors import AnalysisError
 from ..layout.cell import Cell
+from ..obs import trace_span
 from ..package.model import PackageModel
 from ..technology.process import ProcessTechnology
 
@@ -174,7 +175,8 @@ class ExtractionCache:
         Every lookup increments exactly one counter, so after any sequence of
         requests ``misses`` equals the number of extractions that had to run.
         """
-        flow = self._entries.get(key)
+        with trace_span("cache.lookup"):
+            flow = self._entries.get(key)
         if flow is not None:
             self.stats.hits += 1
         else:
@@ -183,7 +185,8 @@ class ExtractionCache:
 
     def store(self, key: str, flow: FlowResult) -> None:
         """Install an extracted flow under ``key`` (no counter traffic)."""
-        self._entries[key] = flow
+        with trace_span("cache.store"):
+            self._entries[key] = flow
 
     def get_or_extract(self, cell: Cell, technology: ProcessTechnology,
                        options: FlowOptions | None = None,

@@ -10,12 +10,17 @@ campaign picks up exactly where it stopped.
 
 Subcommands::
 
-    repro-campaign run     CONFIG [--result R.npz] [--cache-dir DIR] ...
+    repro-campaign run     CONFIG [--result R.npz] [--cache-dir DIR]
+                                  [--trace-out T.trace.json] ...
     repro-campaign resume  CONFIG [--result R.npz] ...
-    repro-campaign show    RESULT [--rows N]
+    repro-campaign show    RESULT [--rows N] [--timings]
     repro-campaign cache   stats --cache-dir DIR
     repro-campaign cache   prune --cache-dir DIR [--max-entries N]
                                  [--max-age-days D] [--all]
+    repro-campaign trace   export RUNLOG [--output OUT.trace.json]
+
+Global ``-v`` / ``-q`` flags raise / lower the ``repro.*`` logging level
+(warnings by default; ``-v`` info, ``-vv`` debug, ``-q`` errors only).
 
 Config schema (TOML shown; the same structure as JSON works on every
 supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
@@ -51,6 +56,13 @@ supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
     checkpoint_corners = 1      # journal completed corners every N corners
     checkpoint_seconds = 30.0   # ... or every T seconds (0 corners disables)
 
+    [observability]             # telemetry of the run (all optional)
+    trace = false               # record hierarchical spans during the run
+    trace_out = "c.trace.json"  # ... and export them as a Chrome/Perfetto
+                                # trace (implies trace = true)
+    run_log = true              # structured <result stem>.runlog.jsonl
+    progress = true             # live progress line (default: only on a TTY)
+
 The ``[solver]`` table participates in the extraction-cache key (two
 campaigns differing only in solver backend or tolerances never share cached
 extractions) and is recorded in the result's ``.meta.json`` sidecar.
@@ -70,13 +82,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 
 import numpy as np
 
 from ..errors import AnalysisError, ReproError
 from ..layout.testchips import VcoLayoutSpec
+from ..obs import (
+    CompositeObserver,
+    ProgressReporter,
+    RunLogRecorder,
+    configure_logging,
+    export_chrome_trace,
+    runlog_path_for,
+    runlog_to_chrome_trace,
+    tracer,
+    validate_trace_events,
+)
 from ..technology import make_technology
 from .backends import (
     ON_ERROR_ABORT,
@@ -144,12 +167,33 @@ class ExecutionSettings:
 
 
 @dataclass
+class ObservabilitySettings:
+    """``[observability]`` table of a config, overridable by CLI flags."""
+
+    trace: bool = False            #: record hierarchical spans for the run
+    trace_out: str | None = None   #: export a Chrome/Perfetto trace here
+    run_log: bool = True           #: write ``<result stem>.runlog.jsonl``
+    progress: bool | None = None   #: live progress line (None = TTY only)
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace or bool(self.trace_out)
+
+    def progress_enabled(self) -> bool:
+        if self.progress is None:
+            return sys.stderr.isatty()
+        return self.progress
+
+
+@dataclass
 class CampaignConfig:
     """A parsed campaign config file."""
 
     campaign: Campaign
     execution: ExecutionSettings
     path: Path
+    observability: ObservabilitySettings = field(
+        default_factory=ObservabilitySettings)
 
 
 # -- config parsing -----------------------------------------------------------
@@ -233,7 +277,8 @@ def load_campaign_config(path: str | Path) -> CampaignConfig:
     if not isinstance(data, dict):
         raise AnalysisError(f"campaign config {path} must be a table/object")
     _check_table(data,
-                 ("name", "axes", "layout", "options", "solver", "execution"),
+                 ("name", "axes", "layout", "options", "solver", "execution",
+                  "observability"),
                  "top level")
 
     axes_table = data.get("axes")
@@ -281,10 +326,17 @@ def load_campaign_config(path: str | Path) -> CampaignConfig:
                  "execution")
     execution = ExecutionSettings(**execution_table)
 
+    observability_table = dict(data.get("observability") or {})
+    _check_table(observability_table,
+                 tuple(f.name for f in fields(ObservabilitySettings)),
+                 "observability")
+    observability = ObservabilitySettings(**observability_table)
+
     name = data.get("name") or path.stem
     campaign = Campaign(name=str(name), space=ParamSpace(axes),
                         base_spec=base_spec, options=options)
-    return CampaignConfig(campaign=campaign, execution=execution, path=path)
+    return CampaignConfig(campaign=campaign, execution=execution, path=path,
+                          observability=observability)
 
 
 def _apply_overrides(execution: ExecutionSettings,
@@ -296,6 +348,18 @@ def _apply_overrides(execution: ExecutionSettings,
         if value is not None:
             updates[field_name] = value
     return replace(execution, **updates) if updates else execution
+
+
+def _apply_obs_overrides(observability: ObservabilitySettings,
+                         args: argparse.Namespace) -> ObservabilitySettings:
+    updates: dict = {}
+    if getattr(args, "trace_out", None) is not None:
+        updates["trace_out"] = args.trace_out
+    if getattr(args, "trace", None):
+        updates["trace"] = True
+    if getattr(args, "progress", None) is not None:
+        updates["progress"] = args.progress
+    return replace(observability, **updates) if updates else observability
 
 
 # -- reporting ----------------------------------------------------------------
@@ -359,6 +423,7 @@ def _launch(args: argparse.Namespace, resume: bool) -> int:
     """Shared body of ``run`` and ``resume``: one campaign through the runner."""
     config = load_campaign_config(args.config)
     execution = _apply_overrides(config.execution, args)
+    observability = _apply_obs_overrides(config.observability, args)
     resume_from = None
     if resume:
         if not execution.result:
@@ -378,15 +443,49 @@ def _launch(args: argparse.Namespace, resume: bool) -> int:
     runner = SweepRunner(make_technology(), backend=execution.make_backend(),
                          cache=cache, on_error=execution.on_error)
     checkpoint = execution.make_checkpoint()
-    result = runner.run(config.campaign, resume_from=resume_from,
-                        checkpoint=checkpoint)
-    saved = result.save(execution.result) if execution.result else None
-    if saved is not None and checkpoint is not None:
-        # Every journaled corner now lives in the saved result; keeping the
-        # journal would only re-feed stale segments to the next run.
-        CampaignJournal(checkpoint.path, campaign_name=config.campaign.name,
-                        fingerprint=None).discard()
+
+    enabled_tracer = False
+    if observability.tracing and not tracer.enabled:
+        tracer.enable()
+        tracer.reset()
+        enabled_tracer = True
+
+    observers = []
+    runlog_path = None
+    if execution.result and observability.run_log:
+        from .persist import result_paths
+
+        runlog_path = runlog_path_for(result_paths(execution.result)[0])
+        observers.append(RunLogRecorder(runlog_path))
+    if observability.progress_enabled():
+        observers.append(ProgressReporter(cache=cache))
+    observer = CompositeObserver(*observers) if observers else None
+
+    trace_path = None
+    try:
+        result = runner.run(config.campaign, resume_from=resume_from,
+                            checkpoint=checkpoint, observer=observer)
+        saved = result.save(execution.result) if execution.result else None
+        if saved is not None and checkpoint is not None:
+            # Every journaled corner now lives in the saved result; keeping
+            # the journal would only re-feed stale segments to the next run.
+            CampaignJournal(checkpoint.path,
+                            campaign_name=config.campaign.name,
+                            fingerprint=None).discard()
+        if observability.trace_out:
+            trace_path = export_chrome_trace(
+                tracer.spans(), observability.trace_out,
+                metadata={"campaign": config.campaign.name,
+                          "fingerprint": config.campaign.fingerprint()})
+    finally:
+        if enabled_tracer:
+            tracer.disable()
     _print_run_report(result, cache, saved)
+    if runlog_path is not None:
+        print(f"  run log              : {runlog_path}")
+    if trace_path is not None:
+        print(f"  trace written        : {trace_path} "
+              "(load in ui.perfetto.dev)")
     if args.summary_json:
         _write_summary_json(args.summary_json, result, cache, saved)
     # Exit code 3: the campaign *completed* but only partially (skipped
@@ -437,12 +536,61 @@ def _cmd_show(args: argparse.Namespace) -> int:
             print(f"  - {failure.corner_label} [{failure.error_type} after "
                   f"{failure.attempts} attempt(s){timeout_note}]: "
                   f"{failure.message}")
+    if args.timings:
+        _print_timings(result)
     if args.rows:
         print(f"\nfirst {args.rows} tidy rows:")
         for row in result.rows()[:args.rows]:
             cells = ", ".join(f"{key}={value:g}" for key, value in row.items()
                               if not key.startswith("entry:"))
             print(f"  {cells}")
+    return 0
+
+
+def _print_timings(result: SweepResult) -> None:
+    """The ``show --timings`` section: per-span aggregates and metrics."""
+    telemetry = result.telemetry or {}
+    if not telemetry:
+        print("timings    : no telemetry in this result (recorded by an "
+              "older version, or loaded without it)")
+        return
+    metrics = telemetry.get("metrics") or {}
+    hist = (metrics.get("histograms") or {}).get("campaign.corner_seconds")
+    if hist and hist.get("count"):
+        print(f"corners    : {hist['count']} timed; "
+              f"mean {hist['mean']:.3f} s, max {hist['max']:.3f} s")
+    spans = telemetry.get("spans") or {}
+    if spans:
+        print("spans      : (count, total, max)")
+        width = max(len(name) for name in spans)
+        for name in sorted(spans):
+            row = spans[name]
+            print(f"  {name:<{width}s}  n={int(row['count']):>5d}  "
+                  f"total={row['total_seconds']:.4f} s  "
+                  f"max={row['max_seconds']:.4f} s")
+    counters = metrics.get("counters") or {}
+    if counters:
+        print("counters   :")
+        for name in sorted(counters):
+            print(f"  {name:40s} {counters[name]}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace export``: run log -> Chrome trace-event JSON."""
+    runlog = Path(args.runlog)
+    if not runlog.exists():
+        raise AnalysisError(f"run log {runlog} does not exist")
+    out = runlog_to_chrome_trace(runlog, args.output)
+    payload = json.loads(Path(out).read_text())
+    problems = validate_trace_events(payload)
+    if problems:
+        for problem in problems[:10]:
+            print(f"repro-campaign: invalid trace: {problem}",
+                  file=sys.stderr)
+        return 2
+    n_spans = sum(1 for event in payload["traceEvents"]
+                  if event.get("ph") == "X")
+    print(f"wrote {out} ({n_spans} spans; load in ui.perfetto.dev)")
     return 0
 
 
@@ -484,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-campaign",
         description="Declare, launch, resume and inspect sweep campaigns "
                     "of the substrate-noise reproduction flow.")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_execution_flags(p: argparse.ArgumentParser) -> None:
@@ -508,6 +660,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(process-pool backend)")
         p.add_argument("--summary-json", dest="summary_json", default=None,
                        help="also write a machine-readable run summary here")
+        p.add_argument("--trace", action="store_true", default=None,
+                       help="record hierarchical spans during the run "
+                            "(dumped into the run log)")
+        p.add_argument("--trace-out", dest="trace_out", default=None,
+                       help="export the recorded spans as a Chrome/Perfetto "
+                            ".trace.json (implies --trace)")
+        p.add_argument("--progress", dest="progress",
+                       action=argparse.BooleanOptionalAction, default=None,
+                       help="force the live progress line on/off "
+                            "(default: on when stderr is a TTY)")
 
     run = sub.add_parser("run", help="run a campaign from a config file")
     add_execution_flags(run)
@@ -523,7 +685,21 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("result", help="path of a saved result (.npz)")
     show.add_argument("--rows", type=int, default=0,
                       help="also print the first N tidy rows")
+    show.add_argument("--timings", action="store_true",
+                      help="also print the recorded telemetry (span "
+                           "aggregates, corner timing, counters)")
     show.set_defaults(handler=_cmd_show)
+
+    trace = sub.add_parser("trace", help="work with recorded run telemetry")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="convert a .runlog.jsonl into a Chrome/Perfetto "
+                       ".trace.json")
+    export.add_argument("runlog", help="path of a <result>.runlog.jsonl")
+    export.add_argument("--output", default=None,
+                        help="output path (default: <stem>.trace.json next "
+                             "to the run log)")
+    export.set_defaults(handler=_cmd_trace)
 
     cache = sub.add_parser("cache", help="inspect or prune a cache directory")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -546,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     try:
         return args.handler(args)
     except ReproError as exc:

@@ -229,6 +229,9 @@ def _encode_meta(result: "SweepResult") -> dict:
         # trip: json emits the non-strict NaN token, which json.loads accepts.
         "failures": [asdict(failure) for failure in result.failures],
         "solver_degradations": dict(result.solver_degradations),
+        # Per-run metrics snapshot + span aggregates (repro.obs schema);
+        # None for runs made without the telemetry layer.
+        "telemetry": result.telemetry,
     }
 
 
@@ -289,7 +292,8 @@ def load_result(path: str | Path) -> "SweepResult":
         campaign_spec=meta.get("campaign"),
         failures=failures,
         solver_degradations={name: int(count) for name, count
-                             in meta.get("solver_degradations", {}).items()})
+                             in meta.get("solver_degradations", {}).items()},
+        telemetry=meta.get("telemetry"))
 
 
 # -- crash-safe checkpoint journal --------------------------------------------

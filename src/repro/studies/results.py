@@ -106,6 +106,11 @@ class SweepResult:
     #: source stepping rungs, iterative->LU fallbacks); empty when every
     #: corner converged on the first-choice numerical path.
     solver_degradations: dict[str, int] = field(default_factory=dict)
+    #: Per-run telemetry: a ``repro.obs`` ``MetricsRegistry.snapshot()``
+    #: under ``"metrics"`` plus (when tracing was enabled) per-span-name
+    #: aggregates under ``"spans"``.  ``None`` for results produced before
+    #: the telemetry layer existed.
+    telemetry: dict | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -200,7 +205,8 @@ class SweepResult:
             cache_misses=self.cache_misses + other.cache_misses,
             campaign_spec=self.campaign_spec or other.campaign_spec,
             failures=failures,
-            solver_degradations=degradations)
+            solver_degradations=degradations,
+            telemetry=self.telemetry or other.telemetry)
 
     # -- tidy columns --------------------------------------------------------
 
@@ -372,6 +378,8 @@ class SweepResult:
             "cache_hits": self.cache_hits,
             "wall_seconds": round(self.wall_seconds, 4),
         }
+        if (self.campaign_spec or {}).get("fingerprint"):
+            summary["fingerprint"] = self.campaign_spec["fingerprint"]
         if self.records:   # a fully-failed skip-policy run has no points
             summary["worst_spur_dbm"] = round(
                 self.worst_spur().spur_power_dbm, 2)

@@ -32,6 +32,15 @@ import numpy as np
 from ..core.flow import FlowOptions, FlowResult, run_extraction_flow
 from ..errors import AnalysisError, CornerFailure
 from ..layout.cell import Cell
+from ..obs import (
+    MetricsRegistry,
+    TraceContext,
+    collect_spans,
+    get_logger,
+    span_aggregates,
+    trace_span,
+    tracer,
+)
 from ..technology.process import ProcessTechnology
 from .backends import (
     ON_ERROR_ABORT,
@@ -40,7 +49,7 @@ from .backends import (
     TaskFailure,
     _check_policy,
 )
-from .cache import ExtractionCache
+from .cache import CacheStats, ExtractionCache
 from .params import Campaign, LayoutVariant
 from .persist import CampaignJournal, CheckpointPolicy
 from .results import PointRecord, SweepResult, VariantRecord
@@ -48,7 +57,10 @@ from .results import PointRecord, SweepResult, VariantRecord
 if TYPE_CHECKING:
     from ..core.vco_experiment import VcoExperimentOptions
     from ..layout.testchips import VcoLayoutSpec
+    from ..obs import CampaignObserver
     from .faults import FaultPlan
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,13 @@ class SweepTask:
     noise_frequencies: tuple[float, ...]
     flow: FlowResult                       #: pre-extracted models of the variant
     first_point_index: int                 #: global index of the first point
+    #: per-run trace handle re-parenting worker spans under the campaign
+    #: root; ``None`` whenever tracing is disabled.  Excluded from content
+    #: hashing — the same corner must fingerprint identically with and
+    #: without tracing.
+    trace: "TraceContext | None" = None
+
+    __fingerprint_exclude__ = ("trace",)
 
     def corner_label(self) -> str:
         """Human-readable corner identity (used in failure messages)."""
@@ -85,11 +104,16 @@ class TaskOutcome:
     ``degradations`` holds the non-zero solver degradation counters this task
     tripped (gmin/source-stepping rungs, iterative->LU fallbacks), measured
     as the worker-local delta of the global solver stats around the task.
+    ``seconds`` is the task's wall clock; ``spans`` carries the spans the
+    task recorded under its :class:`~repro.obs.TraceContext` home to the
+    parent process (empty whenever tracing is disabled).
     """
 
     index: int
     records: tuple[PointRecord, ...]
     degradations: tuple[tuple[str, int], ...] = ()
+    seconds: float = 0.0
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -123,10 +147,20 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
 
     before = {name: getattr(solver_stats, name)
               for name in SolverStats.DEGRADATION_COUNTERS}
-    analysis = VcoImpactAnalysis(task.technology, spec=task.spec,
-                                 options=task.options, flow_result=task.flow)
-    spur_results, _vco, _catalog, _tf = analysis.analyze(
-        task.vtune, np.asarray(task.noise_frequencies, dtype=float))
+    t0 = time.perf_counter()
+    # collect_spans parents this task's spans under the campaign root span
+    # (shipped in ``task.trace``) and hands them back through the outcome —
+    # in a worker process *and*, identically, in the serial backend.
+    with collect_spans(task.trace) as span_sink:
+        with trace_span("campaign.corner", index=task.index,
+                        variant=task.variant_index,
+                        power_dbm=task.injected_power_dbm, vtune=task.vtune):
+            analysis = VcoImpactAnalysis(task.technology, spec=task.spec,
+                                         options=task.options,
+                                         flow_result=task.flow)
+            spur_results, _vco, _catalog, _tf = analysis.analyze(
+                task.vtune, np.asarray(task.noise_frequencies, dtype=float))
+    seconds = time.perf_counter() - t0
     # Worker-local delta of the global counters: which robustness ladders
     # this corner needed (zero deltas for a first-try-converged corner).
     degradations = tuple(
@@ -144,7 +178,8 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
         for offset, (frequency, spur)
         in enumerate(zip(task.noise_frequencies, spur_results)))
     return TaskOutcome(index=task.index, records=records,
-                       degradations=degradations)
+                       degradations=degradations, seconds=seconds,
+                       spans=tuple(span_sink))
 
 
 class _Checkpointer:
@@ -369,7 +404,8 @@ class SweepRunner:
 
     def run(self, campaign: Campaign,
             resume_from: SweepResult | None = None,
-            checkpoint: CheckpointPolicy | None = None) -> SweepResult:
+            checkpoint: CheckpointPolicy | None = None,
+            observer: "CampaignObserver | None" = None) -> SweepResult:
         """Execute the campaign and aggregate its tidy result.
 
         With ``resume_from`` (a previously persisted, possibly partial result
@@ -386,10 +422,56 @@ class SweepRunner:
         this call — discard it (:meth:`CampaignJournal.discard
         <repro.studies.persist.CampaignJournal.discard>`) once the returned
         result has been saved.
+
+        ``observer`` (a :class:`repro.obs.CampaignObserver`, e.g. the run-log
+        recorder or the progress reporter) receives parent-process callbacks
+        as corners start, retry, finish and fail.  When the process-global
+        :data:`repro.obs.tracer` is enabled, the whole run executes under a
+        ``campaign.run`` root span and every task ships a
+        :class:`~repro.obs.TraceContext` so worker-recorded spans re-parent
+        under that root when their outcomes come home.
         """
+        root_span = None
+        trace_mark = 0
+        if tracer.enabled:
+            trace_mark = tracer.mark()
+            # Entered manually (not a ``with`` around the body): the span
+            # must be closed *before* the observer's campaign_finished hook
+            # dumps the recorded spans into the run log.
+            root_span = trace_span("campaign.run", campaign=campaign.name)
+            root_span.__enter__()
+        try:
+            result = self._run(campaign, resume_from, checkpoint, observer,
+                               trace_mark)
+        except BaseException:
+            if root_span is not None:
+                root_span.__exit__(None, None, None)
+            if observer is not None:
+                observer.close()
+            raise
+        if root_span is not None:
+            root_span.__exit__(None, None, None)
+            if result.telemetry is not None:
+                # Re-aggregate now that the root span itself is recorded.
+                result.telemetry["spans"] = span_aggregates(
+                    tracer.spans_since(trace_mark))
+        if observer is not None:
+            observer.campaign_finished(result)
+        return result
+
+    def _run(self, campaign: Campaign,
+             resume_from: SweepResult | None,
+             checkpoint: CheckpointPolicy | None,
+             observer: "CampaignObserver | None",
+             trace_mark: int) -> SweepResult:
+        from ..simulator.solver import SolverStats
+        from ..simulator.solver import stats as solver_stats
+
         start = time.perf_counter()
         hits_before = self.cache.hits
         misses_before = self.cache.misses
+        solver_before = {name: getattr(solver_stats, name)
+                         for name in SolverStats._COUNTERS}
 
         variants = campaign.variants()
         powers, vtunes, frequencies = campaign.sim_grid()
@@ -442,6 +524,23 @@ class SweepRunner:
         tasks = self._build_tasks(campaign, variants, variant_records,
                                   skip=done,
                                   unavailable=frozenset(failed_extractions))
+        if tracer.enabled:
+            # Same context for every task: all corners of this run hang
+            # directly off the campaign root span.
+            context = tracer.current_context()
+            tasks = [replace(task, trace=context) for task in tasks]
+
+        if observer is not None:
+            observer.campaign_started(
+                campaign_name=campaign.name,
+                fingerprint=campaign.fingerprint(),
+                total_corners=len(variants) * len(powers) * len(vtunes),
+                pending_corners=len(tasks),
+                prior_corners=len(done))
+        logger.info(
+            "campaign start: name=%s pending_corners=%d prior_corners=%d "
+            "backend=%s", campaign.name, len(tasks), len(done),
+            self.backend.describe())
 
         # One failure record per pending corner of a failed extraction: the
         # corner never ran, and a later ``resume`` re-attempts exactly it.
@@ -450,17 +549,35 @@ class SweepRunner:
             extraction_failure = failed_extractions.get(variant.index)
             if extraction_failure is None:
                 continue
-            failures.extend(
-                extraction_failure.as_corner_failure(
-                    variant_index=variant.index,
-                    injected_power_dbm=power, vtune=vtune)
-                for power in powers for vtune in vtunes
-                if (variant.index, power, vtune) not in done)
+            for power in powers:
+                for vtune in vtunes:
+                    if (variant.index, power, vtune) in done:
+                        continue
+                    failure = extraction_failure.as_corner_failure(
+                        variant_index=variant.index,
+                        injected_power_dbm=power, vtune=vtune)
+                    failures.append(failure)
+                    if observer is not None:
+                        observer.corner_failed(failure)
+
+        def handle_result(index: int, outcome: TaskOutcome) -> None:
+            if checkpointer is not None:
+                checkpointer(index, outcome)
+            if outcome.spans:
+                tracer.adopt(outcome.spans)
+            if observer is not None:
+                observer.corner_finished(tasks[index], outcome)
+
+        handle_start = None
+        if observer is not None:
+            def handle_start(index: int, attempt: int) -> None:
+                observer.corner_started(tasks[index], attempt)
 
         try:
             outcomes = self.backend.run(self._task_fn(), tasks,
                                         on_error=self.on_error,
-                                        on_result=checkpointer)
+                                        on_result=handle_result,
+                                        on_start=handle_start)
         finally:
             # Journal every corner that completed, even when aborting: the
             # next run recovers them instead of recomputing.
@@ -473,10 +590,13 @@ class SweepRunner:
         for outcome in outcomes:
             if isinstance(outcome, TaskFailure):
                 task = tasks[outcome.index]
-                failures.append(outcome.as_corner_failure(
+                failure = outcome.as_corner_failure(
                     variant_index=task.variant_index,
                     injected_power_dbm=task.injected_power_dbm,
-                    vtune=task.vtune))
+                    vtune=task.vtune)
+                failures.append(failure)
+                if observer is not None:
+                    observer.corner_failed(failure)
             else:
                 successes.append(outcome)
                 for name, count in outcome.degradations:
@@ -486,6 +606,13 @@ class SweepRunner:
         for outcome in sorted(successes, key=lambda o: o.index):
             records.extend(outcome.records)
         records.sort(key=lambda record: record.point_index)
+        telemetry = self._build_telemetry(
+            solver_before=solver_before,
+            cache_hits=self.cache.hits - hits_before,
+            cache_misses=self.cache.misses - misses_before,
+            degradations=degradations,
+            successes=successes,
+            trace_mark=trace_mark)
         return SweepResult(
             campaign_name=campaign.name,
             backend_name=self.backend.describe(),
@@ -497,4 +624,41 @@ class SweepRunner:
             cache_misses=self.cache.misses - misses_before,
             campaign_spec=campaign.describe(),
             failures=failures,
-            solver_degradations=degradations)
+            solver_degradations=degradations,
+            telemetry=telemetry)
+
+    def _build_telemetry(self, *, solver_before: dict[str, int],
+                         cache_hits: int, cache_misses: int,
+                         degradations: dict[str, int],
+                         successes: list[TaskOutcome],
+                         trace_mark: int) -> dict:
+        """Per-run metrics in the one ``MetricsRegistry.snapshot()`` schema.
+
+        Built on a fresh registry so every number is a delta of *this* run,
+        not a process-lifetime accumulation.  The solver counters cover the
+        in-process solver traffic (all of it under the serial backend;
+        extraction-only under a process pool, where the workers' degradation
+        deltas come home through the task outcomes instead).
+        """
+        from ..simulator.solver import SolverStats
+        from ..simulator.solver import stats as solver_stats
+
+        reg = MetricsRegistry()
+        delta = SolverStats(backend=solver_stats.backend)
+        for name in SolverStats._COUNTERS:
+            setattr(delta, name,
+                    getattr(solver_stats, name) - solver_before[name])
+        reg.absorb_solver_stats(delta)
+        reg.absorb_cache_stats(CacheStats(hits=cache_hits,
+                                          misses=cache_misses))
+        reg.absorb_degradations(degradations)
+        reg.absorb_backend(self.backend)
+        for outcome in successes:
+            if outcome.seconds:
+                reg.histogram("campaign.corner_seconds").observe(
+                    outcome.seconds)
+        telemetry: dict = {"metrics": reg.snapshot()}
+        if tracer.enabled:
+            telemetry["spans"] = span_aggregates(
+                tracer.spans_since(trace_mark))
+        return telemetry

@@ -50,7 +50,10 @@ from typing import Callable, Iterator
 
 from ..core.flow import FlowResult, run_extraction_flow
 from ..errors import AnalysisError
+from ..obs import get_logger, trace_span
 from .cache import CacheStats, ExtractionCache
+
+logger = get_logger(__name__)
 
 #: Version of the on-disk entry format.  Bump when the envelope layout or the
 #: pickled payload becomes incompatible; older entries are then evicted and
@@ -213,7 +216,7 @@ class DiskExtractionCache(ExtractionCache):
         if not path.exists():
             return None
         try:
-            with path.open("rb") as handle:
+            with trace_span("cache.disk_read"), path.open("rb") as handle:
                 envelope = pickle.load(handle)
             if not isinstance(envelope, dict) or "format" not in envelope:
                 raise ValueError("not a cache envelope")
@@ -231,11 +234,20 @@ class DiskExtractionCache(ExtractionCache):
                 )
             return envelope["flow"]
         except Exception as exc:  # noqa: BLE001 - any bad entry => re-extract
+            # Warn (visible to interactive callers and pytest) *and* log with
+            # structured context (machine-readable alongside the run logs).
             warnings.warn(
                 f"discarding corrupted extraction-cache entry {path.name!r} "
                 f"({type(exc).__name__}: {exc}); the extraction will re-run",
                 CacheCorruptionWarning,
                 stacklevel=3,
+            )
+            logger.warning(
+                "cache corruption: entry=%s error=%s message=%s action=%s",
+                path.name,
+                type(exc).__name__,
+                exc,
+                "discarded, will re-extract",
             )
             path.unlink(missing_ok=True)
             self.stats.corrupted += 1
@@ -258,8 +270,9 @@ class DiskExtractionCache(ExtractionCache):
             return
         envelope = {"format": DISK_FORMAT_VERSION, "key": key,
                     "code": extraction_code_fingerprint(), "flow": flow}
-        atomic_write(path, lambda handle: pickle.dump(
-            envelope, handle, protocol=pickle.HIGHEST_PROTOCOL))
+        with trace_span("cache.disk_write"):
+            atomic_write(path, lambda handle: pickle.dump(
+                envelope, handle, protocol=pickle.HIGHEST_PROTOCOL))
 
     # -- maintenance ---------------------------------------------------------
 

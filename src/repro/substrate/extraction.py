@@ -22,10 +22,12 @@ junction/oxide capacitance for capacitive ports).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 
 from ..errors import ExtractionError
+from ..obs import trace_span
 from ..layout.cell import Cell, DeviceAnnotation
 from ..layout.geometry import Rect, bounding_box
 from ..technology.process import ProcessTechnology
@@ -68,6 +70,9 @@ class SubstrateExtraction:
     ports: list[SubstratePort]
     macromodel: SubstrateMacromodel
     mesh_nodes: int
+    #: sub-stage wall seconds ("mesh_assembly", "kron_reduction") — always
+    #: measured (cheap perf_counter pairs), independent of the span tracer.
+    timings: dict[str, float] = field(default_factory=dict)
 
     def port(self, name: str) -> SubstratePort:
         for port in self.ports:
@@ -206,8 +211,11 @@ def extract_substrate(cell: Cell, technology: ProcessTechnology,
     spec = MeshSpec(region=region, nx=options.nx, ny=options.ny,
                     max_depth=options.max_depth,
                     n_z_per_layer=options.n_z_per_layer)
-    mesh = SubstrateMesh(spec=spec, profile=technology.substrate)
-    conductance = mesh.conductance_matrix()
+    t_mesh = time.perf_counter()
+    with trace_span("extract.mesh", nx=options.nx, ny=options.ny):
+        mesh = SubstrateMesh(spec=spec, profile=technology.substrate)
+        conductance = mesh.conductance_matrix()
+    mesh_seconds = time.perf_counter() - t_mesh
 
     port_nodes: list[list[tuple[int, float]]] = []
     for port in ports:
@@ -239,8 +247,12 @@ def extract_substrate(cell: Cell, technology: ProcessTechnology,
         port_nodes.append([(node, total_conductance * area / total_area)
                            for node, area in sorted(overlaps.items())])
 
+    t_kron = time.perf_counter()
     macromodel = kron_reduce(conductance, port_nodes,
                              [port.name for port in ports], solver=solver)
+    kron_seconds = time.perf_counter() - t_kron
     return SubstrateExtraction(cell_name=cell.name, ports=ports,
                                macromodel=macromodel,
-                               mesh_nodes=mesh.n_nodes)
+                               mesh_nodes=mesh.n_nodes,
+                               timings={"mesh_assembly": mesh_seconds,
+                                        "kron_reduction": kron_seconds})

@@ -28,6 +28,7 @@ import scipy.sparse as sp
 
 from ..errors import ExtractionError
 from ..layout.geometry import Rect
+from ..obs import trace_span
 from ..technology.process import SubstrateProfile
 
 
@@ -169,6 +170,10 @@ class SubstrateMesh:
         zero row sums (the substrate floats unless a backside contact is
         added by the caller) — properties the test-suite verifies.
         """
+        with trace_span("extract.mesh_assembly", nodes=self.n_nodes):
+            return self._conductance_matrix()
+
+    def _conductance_matrix(self) -> sp.csr_matrix:
         nx, ny, nz = self.nx, self.ny, self.nz
         dx = np.diff(self.x_edges)
         dy = np.diff(self.y_edges)

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from ..errors import ExtractionError, SimulationError
 from ..netlist.circuit import Circuit
+from ..obs import trace_span
 from ..simulator.linalg import LinearSolver, SolverOptions, resolve_solver
 
 
@@ -220,7 +221,8 @@ def kron_reduce(conductance: sp.spmatrix,
     # One factorization (or preconditioner setup) of Y_ii, one multi-RHS
     # solve against every port column at once.
     try:
-        solved = resolve_solver(solver).factorize(y_ii).solve(y_ip)
+        with trace_span("extract.kron", nodes=n_mesh, ports=n_ports):
+            solved = resolve_solver(solver).factorize(y_ii).solve(y_ip)
     except SimulationError as exc:
         raise ExtractionError(f"substrate reduction failed: {exc}") from exc
     reduced = y_pp - y_ip.T @ solved

@@ -302,7 +302,8 @@ def test_cli_exits_3_on_partial_result(tmp_path, monkeypatch, capsys):
         def __init__(self, *args, **kwargs):
             pass
 
-        def run(self, campaign, resume_from=None, checkpoint=None):
+        def run(self, campaign, resume_from=None, checkpoint=None,
+                observer=None):
             return SweepResult(campaign_name="partial", backend_name="stub",
                                axes={}, records=[], variants=[],
                                wall_seconds=0.0, cache_hits=0,
