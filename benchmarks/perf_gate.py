@@ -141,6 +141,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.output is not None:
         args.output.write_text(json.dumps(current_snapshot, indent=2) + "\n")
 
+    # A benchmark that silently stops being measured must not pass the gate:
+    # every gated section present in the baseline has to exist in the
+    # current snapshot too.
+    missing = [name for name in sections
+               if name in baseline_snapshot and name not in current_snapshot]
+    if missing:
+        print("perf-gate: FAILED — section(s) present in the baseline but "
+              f"missing from the current measurement: {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+
     baseline_metrics = flatten_seconds(
         {name: baseline_snapshot[name] for name in sections
          if name in baseline_snapshot})

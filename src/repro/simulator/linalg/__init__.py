@@ -10,7 +10,9 @@ reuse-pattern cache across analyses).
 Backends: :class:`DirectLUSolver` (SuperLU, the reference),
 :class:`ReusePatternLUSolver` (symbolic-ordering reuse across same-pattern
 factorizations), :class:`IterativeSolver` (preconditioned CG for SPD systems
-with automatic direct-LU fallback).
+with automatic direct-LU fallback), and :class:`MultigridSolver` (geometric
+multigrid on the structured substrate grid, degrading to CG/ILU then LU on
+non-grid or non-SPD systems).
 """
 
 from ..solver import SolverStats
@@ -22,11 +24,20 @@ from .backends import (
     make_solver,
     resolve_solver,
 )
+
+# multigrid imports from .backends and self-registers into its backend
+# registry, so it must come after — and the package __init__ always runs
+# before any submodule import, which guarantees registration.
+from .multigrid import GridGeometry, MultigridSolver
 from .options import (
     BACKEND_DIRECT,
     BACKEND_ITERATIVE,
+    BACKEND_MULTIGRID,
     BACKEND_REUSE_LU,
     BACKENDS,
+    MG_CYCLES,
+    MG_MODES,
+    MG_SMOOTHERS,
     PRECONDITIONERS,
     SolverOptions,
 )
@@ -35,10 +46,16 @@ __all__ = [
     "BACKENDS",
     "BACKEND_DIRECT",
     "BACKEND_ITERATIVE",
+    "BACKEND_MULTIGRID",
     "BACKEND_REUSE_LU",
     "DirectLUSolver",
+    "GridGeometry",
     "IterativeSolver",
     "LinearSolver",
+    "MG_CYCLES",
+    "MG_MODES",
+    "MG_SMOOTHERS",
+    "MultigridSolver",
     "PRECONDITIONERS",
     "ReusePatternLUSolver",
     "SolverOptions",

@@ -27,6 +27,11 @@ Three implementations ship behind the seam:
   :mod:`pyamg` is available) or incomplete-LU preconditioner for symmetric
   positive-definite systems — the substrate mesh Laplacian — with automatic
   fallback to direct LU on non-SPD systems or CG breakdown.
+
+A fourth backend, the geometric-multigrid
+:class:`~repro.simulator.linalg.MultigridSolver`, lives in
+:mod:`repro.simulator.linalg.multigrid` and self-registers via
+:func:`register_backend`.
 """
 
 from __future__ import annotations
@@ -98,15 +103,20 @@ class LinearSolver:
 
     # -- the seam ------------------------------------------------------------
 
-    def factorize(self, matrix: sp.spmatrix, structure=None):
+    def factorize(self, matrix: sp.spmatrix, structure=None, grid=None):
         """Prepare ``matrix`` for repeated solves; returns a handle with
-        ``solve(rhs)`` accepting a vector or a dense ``(n, k)`` block."""
+        ``solve(rhs)`` accepting a vector or a dense ``(n, k)`` block.
+
+        ``grid`` optionally describes the structured mesh geometry behind the
+        matrix (a :class:`~repro.simulator.linalg.GridGeometry`); the
+        multigrid backend coarsens along it, every other backend ignores it.
+        """
         raise NotImplementedError
 
     def solve(self, matrix: sp.spmatrix, rhs: np.ndarray,
-              structure=None) -> np.ndarray:
+              structure=None, grid=None) -> np.ndarray:
         """One-shot solve of ``matrix @ x = rhs``."""
-        return self.factorize(matrix, structure=structure).solve(rhs)
+        return self.factorize(matrix, structure=structure, grid=grid).solve(rhs)
 
     # -- fan-out -------------------------------------------------------------
 
@@ -126,11 +136,12 @@ class DirectLUSolver(LinearSolver):
 
     name = BACKEND_DIRECT
 
-    def factorize(self, matrix: sp.spmatrix, structure=None) -> Factorization:
+    def factorize(self, matrix: sp.spmatrix, structure=None,
+                  grid=None) -> Factorization:
         return Factorization(matrix, structure=structure, sinks=self._sinks)
 
     def solve(self, matrix: sp.spmatrix, rhs: np.ndarray,
-              structure=None) -> np.ndarray:
+              structure=None, grid=None) -> np.ndarray:
         return solve_sparse(matrix, rhs, structure=structure,
                             sinks=self._sinks)
 
@@ -274,7 +285,7 @@ class ReusePatternLUSolver(LinearSolver):
         while len(self._patterns) > self.options.max_cached_patterns:
             self._patterns.popitem(last=False)
 
-    def factorize(self, matrix: sp.spmatrix, structure=None):
+    def factorize(self, matrix: sp.spmatrix, structure=None, grid=None):
         if matrix.shape[0] != matrix.shape[1]:
             raise SimulationError("MNA matrix must be square")
         if matrix.shape[0] == 0:
@@ -467,7 +478,7 @@ class IterativeSolver(LinearSolver):
             return False, None          # ILU broke down: not safely solvable
         return True, spla.LinearOperator(csc.shape, matvec=ilu.solve)
 
-    def factorize(self, matrix: sp.spmatrix, structure=None):
+    def factorize(self, matrix: sp.spmatrix, structure=None, grid=None):
         if matrix.shape[0] != matrix.shape[1]:
             raise SimulationError("MNA matrix must be square")
         if matrix.shape[0] == 0:
@@ -527,6 +538,16 @@ _BACKEND_CLASSES: dict[str, type[LinearSolver]] = {
     BACKEND_REUSE_LU: ReusePatternLUSolver,
     BACKEND_ITERATIVE: IterativeSolver,
 }
+
+
+def register_backend(name: str, cls: type[LinearSolver]) -> None:
+    """Register a backend class under its :data:`BACKENDS` name.
+
+    Backends living outside this module (the geometric-multigrid solver)
+    self-register at import time; the package ``__init__`` imports them after
+    this module, so :func:`make_solver` always sees the full registry.
+    """
+    _BACKEND_CLASSES[name] = cls
 
 
 def make_solver(options: SolverOptions | None = None) -> LinearSolver:

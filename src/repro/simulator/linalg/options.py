@@ -24,12 +24,30 @@ BACKEND_REUSE_LU = "reuse-lu"
 #: Laplacian), with automatic fallback to direct LU on non-SPD systems or
 #: CG breakdown.
 BACKEND_ITERATIVE = "iterative"
+#: Geometric multigrid on the structured (nx, ny, nz) substrate grid:
+#: Galerkin-coarsened V/W-cycles used standalone on multi-RHS blocks or as a
+#: CG preconditioner, degrading to CG/ILU (then LU) on non-grid or non-SPD
+#: systems.
+BACKEND_MULTIGRID = "multigrid"
 
-BACKENDS = (BACKEND_DIRECT, BACKEND_REUSE_LU, BACKEND_ITERATIVE)
+BACKENDS = (BACKEND_DIRECT, BACKEND_REUSE_LU, BACKEND_ITERATIVE,
+            BACKEND_MULTIGRID)
 
 #: Preconditioner choices of the iterative backend.  "auto" resolves to AMG
 #: when :mod:`pyamg` is importable and incomplete-LU otherwise.
 PRECONDITIONERS = ("auto", "amg", "ilu", "jacobi", "none")
+
+#: Smoother choices of the multigrid backend: red-black (laterally coloured)
+#: z-line Gauss-Seidel — robust against the mesh's strong vertical
+#: anisotropy (thin surface boxes) — or weighted point Jacobi.
+MG_SMOOTHERS = ("rbgs", "jacobi")
+#: Multigrid cycle shapes.
+MG_CYCLES = ("v", "w")
+#: How multigrid cycles are applied: "standalone" iterates cycles on the
+#: whole (possibly multi-RHS) block, "pcg" runs CG per column with one cycle
+#: as the preconditioner, "auto" picks standalone for blocks and pcg for
+#: single vectors.
+MG_MODES = ("auto", "standalone", "pcg")
 
 
 @dataclass(frozen=True)
@@ -70,6 +88,22 @@ class SolverOptions:
     max_cached_patterns: int = 8
     #: worker threads sharding the frequency points of one AC sweep
     ac_workers: int = 1
+    #: multigrid cycle shape, one of :data:`MG_CYCLES`
+    mg_cycle: str = "v"
+    #: multigrid smoother, one of :data:`MG_SMOOTHERS`
+    mg_smoother: str = "rbgs"
+    #: pre-smoothing sweeps per multigrid cycle
+    mg_pre_smooth: int = 2
+    #: post-smoothing sweeps per multigrid cycle
+    mg_post_smooth: int = 1
+    #: stop coarsening once a level has at most this many nodes (direct LU)
+    mg_coarsest_size: int = 800
+    #: cap on multigrid cycles per solve before falling down the ladder
+    mg_max_cycles: int = 60
+    #: relative residual target of the multigrid solve
+    mg_rtol: float = 1e-12
+    #: cycle application, one of :data:`MG_MODES`
+    mg_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -94,6 +128,29 @@ class SolverOptions:
             raise SimulationError("max_cached_patterns must be >= 1")
         if self.ac_workers < 1:
             raise SimulationError("ac_workers must be >= 1")
+        if self.mg_cycle not in MG_CYCLES:
+            raise SimulationError(
+                f"unknown mg_cycle {self.mg_cycle!r}; "
+                f"choose one of {', '.join(MG_CYCLES)}")
+        if self.mg_smoother not in MG_SMOOTHERS:
+            raise SimulationError(
+                f"unknown mg_smoother {self.mg_smoother!r}; "
+                f"choose one of {', '.join(MG_SMOOTHERS)}")
+        if self.mg_mode not in MG_MODES:
+            raise SimulationError(
+                f"unknown mg_mode {self.mg_mode!r}; "
+                f"choose one of {', '.join(MG_MODES)}")
+        if self.mg_pre_smooth < 0 or self.mg_post_smooth < 0:
+            raise SimulationError("mg_pre_smooth/mg_post_smooth must be >= 0")
+        if self.mg_pre_smooth + self.mg_post_smooth < 1:
+            raise SimulationError(
+                "at least one smoothing sweep per multigrid cycle is required")
+        if self.mg_coarsest_size < 1:
+            raise SimulationError("mg_coarsest_size must be >= 1")
+        if self.mg_max_cycles < 1:
+            raise SimulationError("mg_max_cycles must be >= 1")
+        if self.mg_rtol <= 0.0:
+            raise SimulationError("mg_rtol must be positive")
 
     def effective_gmin(self, analysis_default: float) -> float:
         """The gmin to use: this object's override, or the analysis default."""

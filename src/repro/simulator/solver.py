@@ -55,14 +55,17 @@ class SolverStats:
     pattern_reuses: int = 0     #: value-only refactorizations (reuse-lu)
     cg_solves: int = 0          #: right-hand sides solved by CG
     cg_iterations: int = 0      #: total CG iterations over all solves
-    fallbacks: int = 0          #: iterative requests degraded to reuse-LU
+    mg_solves: int = 0          #: right-hand sides solved by multigrid
+    mg_cycles: int = 0          #: multigrid cycles (standalone + precond apply)
+    fallbacks: int = 0          #: iterative/multigrid requests degraded a rung
     fallback_direct: int = 0    #: degradations that had to reach plain direct LU
     dc_gmin_steps: int = 0      #: gmin-continuation rungs taken by DC Newton
     dc_source_steps: int = 0    #: source-stepping rungs taken by DC Newton
     backend: str = ""           #: backend name ("" for the module-level global)
 
     _COUNTERS = ("factorizations", "solves", "pattern_reuses",
-                 "cg_solves", "cg_iterations", "fallbacks", "fallback_direct",
+                 "cg_solves", "cg_iterations", "mg_solves", "mg_cycles",
+                 "fallbacks", "fallback_direct",
                  "dc_gmin_steps", "dc_source_steps")
 
     #: The subset of counters that record *graceful degradation* — a solve or

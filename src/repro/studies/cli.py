@@ -43,7 +43,10 @@ supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
 
     [solver]                    # linear-solver backend (SolverOptions)
     backend = "reuse-lu"        # "direct" | "reuse-lu" | "iterative"
+                                # | "multigrid"
     ac_workers = 1              # per-frequency fan-out inside one AC sweep
+    mg_cycle = "v"              # multigrid knobs: "v" | "w" cycles,
+    mg_smoother = "rbgs"        # "rbgs" | "jacobi" smoothing
 
     [execution]                 # defaults for the CLI flags
     backend = "serial"          # or "process-pool"

@@ -249,7 +249,8 @@ def extract_substrate(cell: Cell, technology: ProcessTechnology,
 
     t_kron = time.perf_counter()
     macromodel = kron_reduce(conductance, port_nodes,
-                             [port.name for port in ports], solver=solver)
+                             [port.name for port in ports], solver=solver,
+                             grid=mesh.grid_geometry())
     kron_seconds = time.perf_counter() - t_kron
     return SubstrateExtraction(cell_name=cell.name, ports=ports,
                                macromodel=macromodel,

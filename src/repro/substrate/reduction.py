@@ -140,8 +140,8 @@ def kron_reduce(conductance: sp.spmatrix,
                 port_nodes: list[list[int]] | list[list[tuple[int, float]]],
                 port_names: list[str],
                 port_contact_conductance: list[float] | None = None,
-                solver: "SolverOptions | LinearSolver | None" = None
-                ) -> SubstrateMacromodel:
+                solver: "SolverOptions | LinearSolver | None" = None,
+                grid=None) -> SubstrateMacromodel:
     """Reduce a mesh conductance matrix to its port-level macromodel.
 
     Parameters
@@ -168,6 +168,12 @@ def kron_reduce(conductance: sp.spmatrix,
         internal matrix is symmetric positive definite, which makes this the
         prime target of the ``iterative`` (CG + incomplete-factorization)
         backend on meshes where a direct LU stops fitting.
+    grid:
+        Structured-grid shape behind ``conductance`` (a
+        :class:`~repro.simulator.linalg.GridGeometry`, from
+        :meth:`~repro.substrate.mesh.SubstrateMesh.grid_geometry`).  Enables
+        geometric coarsening in the ``multigrid`` backend; other backends
+        ignore it.
 
     Returns
     -------
@@ -222,7 +228,8 @@ def kron_reduce(conductance: sp.spmatrix,
     # solve against every port column at once.
     try:
         with trace_span("extract.kron", nodes=n_mesh, ports=n_ports):
-            solved = resolve_solver(solver).factorize(y_ii).solve(y_ip)
+            solved = resolve_solver(solver).factorize(
+                y_ii, grid=grid).solve(y_ip)
     except SimulationError as exc:
         raise ExtractionError(f"substrate reduction failed: {exc}") from exc
     reduced = y_pp - y_ip.T @ solved
