@@ -195,6 +195,117 @@ def _bench_sweep() -> dict:
     }
 
 
+def _bench_parallel() -> dict:
+    """Corner x frequency saturation ladder on the unified work scheduler.
+
+    Two axes of the one shared process pool:
+
+    * **corners** — the Figure-8-style campaign of ``--section sweep``
+      (60 points over 2 layout variants), run against a warm extraction
+      cache serially and through the graph scheduler at 1/2/4 workers,
+    * **frequency points** — one 64-point AC sweep of an RC-grid circuit,
+      sharded at 1/2/4 ``ac_workers`` through both fan-out executors
+      (``ac_mode = "thread"`` vs ``"process"``), with bit-identity against
+      the serial sweep asserted and recorded.
+
+    The section records the measuring container's ``cpu_count`` because the
+    ladder's meaning depends on it: on a 1-CPU container (the committed
+    baseline, CI) every rung measures scheduling *overhead* over serial,
+    while on a multi-core host the same rungs measure saturation speedup.
+    """
+    import os
+
+    from repro.core.flow import FlowOptions
+    from repro.netlist.circuit import Circuit
+    from repro.simulator.ac import ac_analysis
+    from repro.simulator.linalg import SolverOptions
+    from repro.studies import (
+        Campaign,
+        ExtractionCache,
+        ParamSpace,
+        ProcessPoolBackend,
+        SerialBackend,
+        SweepRunner,
+    )
+    from repro.substrate.extraction import SubstrateExtractionOptions
+
+    technology = make_technology()
+    campaign = Campaign(
+        name="bench_parallel_ladder",
+        space=ParamSpace({
+            "ground_width_scale": (1.0, 2.0),
+            "vtune": (0.0, 0.75, 1.5),
+            "noise_frequency": NOISE_FREQUENCIES,
+        }),
+        options=VcoExperimentOptions(
+            flow=FlowOptions(substrate=SubstrateExtractionOptions(
+                nx=40, ny=40, lateral_margin=60e-6))))
+
+    cache = ExtractionCache()
+    serial_runner = SweepRunner(technology, backend=SerialBackend(),
+                                cache=cache)
+    serial_runner.run(campaign)                  # warm the cache
+    start = time.perf_counter()
+    serial = serial_runner.run(campaign)
+    serial_seconds = time.perf_counter() - start
+
+    corners: dict = {"points": len(serial),
+                     "layout_variants": len(serial.variants),
+                     "serial_warm_seconds": serial_seconds}
+    max_abs_dbm = 0.0
+    for n_workers in (1, 2, 4):
+        runner = SweepRunner(
+            technology, backend=ProcessPoolBackend(max_workers=n_workers),
+            cache=cache)
+        start = time.perf_counter()
+        result = runner.run(campaign)
+        corners[f"graph_{n_workers}workers_warm_seconds"] = (
+            time.perf_counter() - start)
+        max_abs_dbm = max(max_abs_dbm, float(np.max(np.abs(
+            result.column("spur_power_dbm")
+            - serial.column("spur_power_dbm")))))
+    corners["graph_vs_serial_max_abs_dbm"] = max_abs_dbm
+
+    # RC-grid circuit: big enough that a frequency point does real solver
+    # work, small enough that the 6-rung ladder stays in benchmark budget.
+    n = 14
+    circuit = Circuit("rc_grid")
+    circuit.add_voltage_source("V1", "n0_0", "0", 1.0)
+    for i in range(n):
+        for j in range(n):
+            node = f"n{i}_{j}"
+            if j + 1 < n:
+                circuit.add_resistor(f"Rh{i}_{j}", node, f"n{i}_{j + 1}", 1e3)
+            if i + 1 < n:
+                circuit.add_resistor(f"Rv{i}_{j}", node, f"n{i + 1}_{j}", 1e3)
+            circuit.add_capacitor(f"C{i}_{j}", node, "0", 1e-12)
+    frequencies = np.logspace(3, 9, 64)
+    reference = ac_analysis(circuit, frequencies)
+
+    fanout: dict = {"points": len(frequencies),
+                    "circuit_nodes": len(circuit.nodes())}
+    max_abs = 0.0
+    for mode in ("thread", "process"):
+        for n_workers in (1, 2, 4):
+            options = SolverOptions(ac_workers=n_workers, ac_mode=mode)
+            start = time.perf_counter()
+            swept = ac_analysis(circuit, frequencies, solver=options)
+            fanout[f"{mode}_{n_workers}workers_seconds"] = (
+                time.perf_counter() - start)
+            max_abs = max(max_abs, float(np.max(np.abs(
+                swept.vectors - reference.vectors))))
+    fanout["fanout_vs_serial_max_abs"] = max_abs
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "note": ("ladder semantics depend on cpu_count: on the 1-CPU "
+                 "baseline/CI container every rung measures scheduler "
+                 "overhead vs serial; multi-core hosts measure saturation"),
+        "corners": corners,
+        "frequency_fanout": fanout,
+    }
+
+
 def _bench_solver() -> dict:
     """Backend comparison on the substrate-mesh Laplacian versus mesh size.
 
@@ -320,6 +431,7 @@ def _bench_solver() -> dict:
 #: Snapshot sections and the functions that produce them.
 SECTIONS = {
     "flow": _bench_flow,
+    "parallel": _bench_parallel,
     "solver": _bench_solver,
     "solver_micro": _bench_solver_micro,
     "sweep": _bench_sweep,

@@ -1,0 +1,213 @@
+"""Process-level frequency fan-out for AC / transfer-function sweeps.
+
+``ac_workers`` historically sharded the frequency points of one sweep over
+*threads* — correct, but the pure-python assembly and scipy wrapper layers
+pay the GIL.  This module generalizes the same ``spawn()``/``absorb()`` seam
+to worker *processes* on the shared pool:
+
+* the parent packs the :class:`~repro.simulator.solver.SharedPatternPair`
+  CSC arrays (``g_data``/``c_data``/``indices``/``indptr``), the right-hand
+  side and the output block into one :class:`~repro.parallel.shm.SharedArena`
+  — workers attach zero-copy instead of unpickling a ~19k-node mesh per task;
+* each worker executes one :class:`FrequencyBlockSpec` — the **same**
+  ``np.array_split`` chunk and the same per-point operation sequence as the
+  thread path (one-shot ``solve`` for AC, ``factorize`` + multi-RHS block
+  solve for transfer functions), so results are bit-identical whichever
+  executor runs them;
+* each block returns ``(rows?, SolverStats, spans)``: the parent absorbs the
+  stats through :meth:`~repro.simulator.linalg.LinearSolver.absorb_stats`
+  and adopts the spans, exactly like the thread path absorbs its spawned
+  workers.
+
+Fault tolerance is *recomputation*, not retry bookkeeping: any block whose
+worker raises, hangs up the pipe or dies (``BrokenProcessPool``) is re-run
+in the parent with a ``spawn()``-ed solver — the thread path's exact code —
+so an injected worker crash can delay a sweep but never change ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..obs import get_logger
+from ..obs.trace import SpanRecord, TraceContext, collect_spans, tracer
+from ..simulator.linalg import LinearSolver, SolverOptions, make_solver
+from ..simulator.solver import SharedPatternPair, SolverStats
+from .pool import shared_pool
+from .shm import ArenaHandle, InlineArena, SharedArena, attach_arena
+
+try:
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:                                    # pragma: no cover
+    BrokenProcessPool = RuntimeError
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class FrequencyBlockSpec:
+    """One worker's share of a frequency sweep (picklable, tiny).
+
+    ``index`` is the block number — it is the attribute
+    :meth:`~repro.studies.faults.FaultPlan.inject` matches, so the fault
+    plans of the robustness suite can sabotage chosen blocks.  The matrix,
+    RHS and output live in the arena; only this address card rides the pipe.
+    """
+
+    index: int
+    arena: "ArenaHandle | InlineArena"
+    frequencies: tuple[float, ...]      #: this block's frequency points
+    row_start: int                      #: first row of ``out`` this block owns
+    shape: tuple[int, int]              #: assembled matrix shape
+    options: SolverOptions
+    multi_rhs: bool                     #: transfer path (factorize + block)
+    context: TraceContext | None = None
+
+
+@dataclass(frozen=True)
+class FrequencyBlockResult:
+    """What a solve shard sends home: rows (inline arenas only) + telemetry."""
+
+    index: int
+    rows: np.ndarray | None             #: None when written via shared memory
+    stats: SolverStats
+    spans: tuple[SpanRecord, ...]
+
+
+def _solve_rows(spec: FrequencyBlockSpec, pattern: SharedPatternPair,
+                solver: LinearSolver, rhs: np.ndarray,
+                out_rows: np.ndarray) -> None:
+    """The per-point operation sequence, verbatim from the serial sweeps.
+
+    AC: ``solver.solve(matrix, rhs)``.  Transfer: ``factorize`` then one
+    multi-RHS block solve.  Identical ops => bit-identical rows; this same
+    function is the parent's recomputation path for failed blocks.
+    """
+    if spec.multi_rhs:
+        for offset, frequency in enumerate(spec.frequencies):
+            matrix = pattern.assemble(2j * np.pi * frequency)
+            out_rows[offset] = solver.factorize(matrix).solve(rhs)
+    else:
+        for offset, frequency in enumerate(spec.frequencies):
+            matrix = pattern.assemble(2j * np.pi * frequency)
+            out_rows[offset] = solver.solve(matrix, rhs)
+
+
+def _solve_block(spec: FrequencyBlockSpec) -> FrequencyBlockResult:
+    """Worker entry point: attach, assemble, solve, report.
+
+    With a shared arena the result rows are written straight into the
+    parent-visible ``out`` field — nothing but stats and spans travels back.
+    The solver is a fresh non-mirroring instance, matching what ``spawn()``
+    hands a worker thread.
+    """
+    views = attach_arena(spec.arena)
+    pattern = SharedPatternPair.from_arrays(
+        views["g_data"], views["c_data"], views["indices"], views["indptr"],
+        spec.shape)
+    solver = make_solver(spec.options, mirror_global=False)
+    n_rows = len(spec.frequencies)
+    shared = not isinstance(spec.arena, InlineArena)
+    out_rows = (views["out"][spec.row_start:spec.row_start + n_rows]
+                if shared else
+                np.zeros((n_rows,) + views["out"].shape[1:], dtype=complex))
+    with collect_spans(spec.context) as spans:
+        _solve_rows(spec, pattern, solver, views["rhs"], out_rows)
+    return FrequencyBlockResult(
+        index=spec.index, rows=None if shared else out_rows,
+        stats=solver.stats, spans=tuple(spans))
+
+
+def _recompute_in_parent(spec: FrequencyBlockSpec,
+                         pattern: SharedPatternPair, solver: LinearSolver,
+                         rhs: np.ndarray, out: np.ndarray) -> None:
+    """Re-run a failed block in-process with the thread path's exact ops."""
+    worker = solver.spawn()
+    private = pattern.with_private_buffer()
+    n_rows = len(spec.frequencies)
+    _solve_rows(spec, private, worker, rhs,
+                out[spec.row_start:spec.row_start + n_rows])
+    solver.absorb(worker)
+
+
+def run_frequency_blocks(pattern: SharedPatternPair,
+                         frequencies: "np.ndarray | Sequence[float]",
+                         solver: LinearSolver, *, rhs: np.ndarray,
+                         out: np.ndarray, multi_rhs: bool = False,
+                         fault_plan=None) -> None:
+    """Shard ``frequencies`` across worker processes, writing into ``out``.
+
+    Drop-in sibling of the thread fan-out in
+    :func:`repro.simulator.ac.run_frequency_points`: same
+    ``np.array_split`` chunking, same per-point ops, stats absorbed into
+    ``solver`` and spans adopted into the live tracer.  Blocks that fail in
+    a worker — including a worker dying mid-solve — are recomputed in the
+    parent, so the call always completes with bit-identical results or
+    raises the underlying error from the in-process path.
+
+    ``fault_plan`` wraps the worker callable parent-side (fork-snapshot
+    module globals never reach live workers, so the plan must ride in the
+    pickled submission) — test-only, mirroring ``SweepRunner(fault_plan=)``.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    n_workers = min(solver.options.ac_workers, len(frequencies))
+    if n_workers < 1:
+        return
+    chunks = np.array_split(np.arange(len(frequencies)), n_workers)
+    arena = SharedArena.create({
+        "g_data": pattern.g_data,
+        "c_data": pattern.c_data,
+        "indices": pattern.csc_indices,
+        "indptr": pattern.csc_indptr,
+        "rhs": np.ascontiguousarray(rhs),
+        "out": np.zeros_like(out),
+    })
+    context = tracer.current_context()
+    specs = [FrequencyBlockSpec(
+        index=block, arena=arena.handle,
+        frequencies=tuple(float(frequencies[i]) for i in chunk),
+        row_start=int(chunk[0]), shape=pattern.shape,
+        options=solver.options, multi_rhs=multi_rhs, context=context)
+        for block, chunk in enumerate(chunks)]
+    fn = fault_plan.wrap(_solve_block) if fault_plan is not None \
+        else _solve_block
+
+    pool_handle = shared_pool()
+    failed: list[FrequencyBlockSpec] = []
+    try:
+        pending = {}
+        try:
+            pool = pool_handle.executor(n_workers)
+            for spec in specs:
+                pending[pool.submit(fn, spec)] = spec
+        except BrokenProcessPool:
+            pool_handle.recycle()
+            failed.extend(spec for spec in specs
+                          if spec not in pending.values())
+        for future, spec in pending.items():
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                pool_handle.recycle()
+                failed.append(spec)
+                continue
+            except Exception as exc:
+                logger.warning(
+                    "frequency block %d failed in worker (%s: %s); "
+                    "recomputing in parent", spec.index,
+                    type(exc).__name__, exc)
+                failed.append(spec)
+                continue
+            n_rows = len(spec.frequencies)
+            rows = (arena.view("out")[spec.row_start:spec.row_start + n_rows]
+                    if result.rows is None else result.rows)
+            out[spec.row_start:spec.row_start + n_rows] = rows
+            solver.absorb_stats(result.stats)
+            tracer.adopt(result.spans)
+        for spec in failed:
+            _recompute_in_parent(spec, pattern, solver, rhs, out)
+    finally:
+        arena.dispose()

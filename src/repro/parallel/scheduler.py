@@ -1,0 +1,455 @@
+"""The unified work scheduler: one DAG, one pool, one failure policy.
+
+:class:`WorkScheduler` executes a plan of :class:`~repro.parallel.plan.WorkItem`\\ s
+on the :class:`~repro.parallel.pool.SharedProcessPool`.  It generalizes the
+retry / timeout / broken-pool machinery that previously lived inside
+``ProcessPoolBackend`` (which is now a thin adapter over this class) from a
+flat task list to a dependency graph:
+
+* **priority/dependency-aware dispatch** — items become *ready* when their
+  dependencies succeed and are dispatched lowest ``priority`` first
+  (submission order breaking ties).  Dispatch is windowed: at most
+  ``n_workers`` futures are in flight, so ``task_timeout`` deadlines measure
+  actual worker occupancy, not queue time, and a freshly-extracted variant's
+  corners start flowing while other extractions still run.
+* **cache-aware affinity** — the runner deduplicates extraction items by
+  cache key, so every corner of a variant depends on *one* extraction item
+  instead of racing the :class:`~repro.studies.store.DiskExtractionCache`.
+* **failure propagation** — an item whose dependency exhausts its attempts
+  never runs; it inherits the dependency's :class:`TaskFailure` verbatim
+  (the root cause), spending zero attempts.
+* **identical fault tolerance** — per-item retries, wall-clock
+  ``task_timeout`` with worker SIGKILL + pool recycle, broken-pool salvage
+  (completed results survive a crash), jittered exponential rebuild backoff,
+  and the ``abort`` / ``skip`` / ``retry_then_skip`` policies behave exactly
+  as the flat backend always did; ``KeyboardInterrupt`` / ``SystemExit``
+  always propagate.
+
+With a single effective worker the plan executes in-process (topological,
+priority-ordered) with the same retry semantics — no pool, no pickling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from ..errors import AnalysisError, CampaignError, TaskTimeoutError
+from ..obs import get_logger
+from .plan import (
+    ON_ERROR_ABORT,
+    TaskFailure,
+    WorkItem,
+    _check_policy,
+    _effective_retries,
+    _failure_record,
+    _give_up,
+    _task_label,
+    validate_plan,
+)
+from .pool import SharedProcessPool, default_max_workers, shared_pool
+
+logger = get_logger(__name__)
+
+
+class _TimedOut(Exception):
+    """Internal marker cause for a task abandoned by a timeout trip."""
+
+
+class WorkScheduler:
+    """Dependency/priority-aware task execution on one persistent pool.
+
+    ``run(items, ...)`` returns ``{item id -> result | TaskFailure}``.  The
+    per-item attempt counts of the most recent run live in ``attempts`` and
+    the pool rebuilds (crash or timeout recoveries) in ``pool_rebuilds`` —
+    the same churn bookkeeping the flat backend exposed, keyed by item id.
+    """
+
+    def __init__(self, max_workers: int | None = None, retries: int = 0,
+                 task_timeout: float | None = None,
+                 backoff_base: float = 0.25, backoff_max: float = 8.0,
+                 backoff_seed: int | None = None,
+                 pool: SharedProcessPool | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise AnalysisError("WorkScheduler needs at least one worker")
+        if retries < 0:
+            raise AnalysisError("retries must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise AnalysisError("task_timeout must be positive (seconds)")
+        if backoff_base < 0 or backoff_max < 0:
+            raise AnalysisError("backoff delays must be >= 0")
+        self.max_workers = max_workers or default_max_workers()
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._rng = random.Random(backoff_seed)
+        self._pool = pool if pool is not None else shared_pool()
+        #: per-item attempt counts of the most recent :meth:`run`
+        self.attempts: dict[str, int] = {}
+        #: pool rebuilds (crash or timeout) during the most recent :meth:`run`
+        self.pool_rebuilds: int = 0
+
+    # -- backoff -------------------------------------------------------------
+
+    def _backoff_sleep(self, rebuilds: int) -> None:
+        """Jittered exponential delay before the ``rebuilds``-th fresh pool."""
+        if self.backoff_base <= 0:
+            return
+        delay = min(self.backoff_max,
+                    self.backoff_base * (2.0 ** (rebuilds - 1)))
+        # Full jitter in [delay/2, delay]: desynchronises concurrent
+        # campaigns hammering one broken shared resource.
+        time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, items: Sequence[WorkItem], *,
+            on_error: str = ON_ERROR_ABORT,
+            on_result: Callable[[str, Any], None] | None = None,
+            on_start: Callable[[str, int], None] | None = None,
+            ) -> dict[str, Any]:
+        """Execute the plan; outcomes keyed by item id.
+
+        ``on_result(item_id, result)`` fires in the parent as each item
+        *succeeds* (including results salvaged from a breaking pool);
+        ``on_start(item_id, attempt)`` as each attempt is submitted
+        (``attempt`` counts from 1).  Under the skip policies a failed
+        item's slot holds its :class:`TaskFailure`; items doomed by a failed
+        dependency hold the dependency's failure object.
+        """
+        policy = _check_policy(on_error)
+        items = list(items)
+        validate_plan(items)
+        self.attempts = {item.id: 0 for item in items}
+        self.pool_rebuilds = 0
+        if not items:
+            return {}
+        budget = _effective_retries(self.retries, policy)
+        by_id = {item.id: item for item in items}
+        seq = {item.id: position for position, item in enumerate(items)}
+        missing = {item.id: len(item.deps) for item in items}
+        dependents: dict[str, list[str]] = {item.id: [] for item in items}
+        for item in items:
+            for dep in item.deps:
+                dependents[dep].append(item.id)
+
+        outcomes: dict[str, Any] = {}
+        failed: set[str] = set()
+        ready: list[tuple[int, int, str]] = []
+        for item in items:
+            if missing[item.id] == 0:
+                heapq.heappush(ready, (item.priority, seq[item.id], item.id))
+
+        def bound_payload(item: WorkItem) -> Any:
+            if item.bind is None:
+                return item.payload
+            return item.bind(item.payload,
+                             {dep: outcomes[dep] for dep in item.deps})
+
+        def settle_success(item_id: str, value: Any) -> None:
+            outcomes[item_id] = value
+            if on_result is not None:
+                on_result(item_id, value)
+            for child in dependents[item_id]:
+                missing[child] -= 1
+                if missing[child] == 0 and child not in failed:
+                    child_item = by_id[child]
+                    heapq.heappush(ready,
+                                   (child_item.priority, seq[child], child))
+
+        def settle_failure(item_id: str, failure: TaskFailure) -> None:
+            if item_id in failed:
+                return
+            failed.add(item_id)
+            outcomes[item_id] = failure
+            # Transitively doom the dependents with the *root* failure: a
+            # corner whose extraction failed reports the extraction's error,
+            # exactly as the two-phase runner always did.
+            for child in dependents[item_id]:
+                settle_failure(child, failure)
+
+        n_workers = min(self.max_workers, len(items))
+        if n_workers == 1:
+            self._run_inline(by_id, seq, ready, failed, budget, policy,
+                             bound_payload, settle_success, settle_failure,
+                             on_start)
+            return outcomes
+
+        resubmit: list[str] = []
+        while ready or resubmit:
+            unfinished, causes = self._pool_round(
+                by_id, seq, ready, resubmit, failed, n_workers, budget,
+                policy, bound_payload, settle_success, settle_failure,
+                on_start)
+            exhausted = [item_id for item_id in unfinished
+                         if self.attempts[item_id] > budget]
+            if exhausted:
+                if policy == ON_ERROR_ABORT:
+                    self._abort(by_id, exhausted, causes)
+                for item_id in exhausted:
+                    settle_failure(item_id, _failure_record(
+                        seq[item_id], by_id[item_id].payload,
+                        self.attempts[item_id], causes.get(item_id)))
+                unfinished = [item_id for item_id in unfinished
+                              if item_id not in set(exhausted)]
+            resubmit = unfinished
+            if resubmit or (ready and self._pool.width == 0):
+                self.pool_rebuilds += 1
+                logger.warning(
+                    "worker pool rebuild: rebuilds=%d unfinished_tasks=%d",
+                    self.pool_rebuilds, len(resubmit))
+                self._backoff_sleep(self.pool_rebuilds)
+        return outcomes
+
+    def _run_inline(self, by_id, seq, ready, failed, budget, policy,
+                    bound_payload, settle_success, settle_failure,
+                    on_start) -> None:
+        """Single-worker path: run the plan in this process, no pool.
+
+        Mirrors the flat backends' in-process retry loop exactly:
+        ``Exception`` consumes attempts, ``KeyboardInterrupt`` /
+        ``SystemExit`` propagate immediately, the abort policy raises via
+        ``_give_up`` with the original exception chained.
+        """
+        while ready:
+            _, _, item_id = heapq.heappop(ready)
+            if item_id in failed:
+                continue
+            item = by_id[item_id]
+            payload = bound_payload(item)
+            while True:
+                self.attempts[item_id] += 1
+                if on_start is not None:
+                    on_start(item_id, self.attempts[item_id])
+                try:
+                    value = item.fn(payload)
+                except Exception as exc:
+                    if self.attempts[item_id] <= budget:
+                        logger.info(
+                            "task retry: corner=%s attempt=%d/%d error=%s",
+                            item.describe(), self.attempts[item_id],
+                            budget + 1, type(exc).__name__)
+                        continue
+                    if policy == ON_ERROR_ABORT:
+                        _give_up(item.payload, self.attempts[item_id], exc)
+                    logger.warning(
+                        "task exhausted: corner=%s attempts=%d error=%s "
+                        "policy=%s", item.describe(), self.attempts[item_id],
+                        type(exc).__name__, policy)
+                    settle_failure(item_id, _failure_record(
+                        seq[item_id], item.payload, self.attempts[item_id],
+                        exc))
+                    break
+                settle_success(item_id, value)
+                break
+
+    def _abort(self, by_id, exhausted: list[str],
+               causes: dict[str, BaseException]) -> None:
+        """Abort policy: blame the right item and raise."""
+        # Blame an item that failed on its own if there is one; the rest
+        # merely shared a broken pool and may never have run, so they
+        # are reported as unfinished rather than as the failure.
+        blamed = next(
+            (item_id for item_id in exhausted
+             if causes.get(item_id) is not None
+             and not isinstance(causes[item_id],
+                                (BrokenProcessPool, _TimedOut))),
+            None)
+        if blamed is not None:
+            _give_up(by_id[blamed].payload, self.attempts[blamed],
+                     causes[blamed])
+        first = exhausted[0]
+        failures = tuple(
+            _failure_record(index, by_id[item_id].payload,
+                            self.attempts[item_id], causes.get(item_id))
+            for index, item_id in enumerate(exhausted))
+        raise CampaignError(
+            f"worker pool broke {self.attempts[first]} time(s); "
+            f"{len(exhausted)} task(s) exhausted their retries without "
+            f"completing, including: {_task_label(by_id[first].payload)}",
+            failures=failures) from causes.get(first)
+
+    def _pool_round(self, by_id, seq, ready, resubmit, failed,
+                    n_workers, budget, policy, bound_payload,
+                    settle_success, settle_failure, on_start,
+                    ) -> tuple[list[str], dict[str, BaseException]]:
+        """One pool lifetime; returns (unfinished item ids, their causes).
+
+        Per-item failures are retried within the round; a broken pool or a
+        timeout trip ends the round early with every not-yet-finished item
+        listed as unfinished (their submitted attempts count as spent).  The
+        pool itself persists across clean rounds and runs — only breakage
+        recycles it.
+        """
+        pool = self._pool.executor(n_workers)
+        pending: dict = {}
+        deadlines: dict = {}
+        submit_failed: list[str] = []
+
+        def submit(item_id: str) -> None:
+            item = by_id[item_id]
+            self.attempts[item_id] += 1
+            if on_start is not None:
+                on_start(item_id, self.attempts[item_id])
+            try:
+                future = pool.submit(item.fn, bound_payload(item))
+            except BrokenProcessPool:
+                # The attempt is spent but no future exists; remember the
+                # item so the salvage path reschedules it.
+                submit_failed.append(item_id)
+                raise
+            pending[future] = item_id
+            if self.task_timeout is not None:
+                deadlines[future] = time.monotonic() + self.task_timeout
+
+        def fill() -> None:
+            # Windowed dispatch: keep at most n_workers futures in flight so
+            # timeout deadlines measure worker occupancy, not queue time.
+            while len(pending) < n_workers and (resubmit or ready):
+                item_id = resubmit.pop(0) if resubmit \
+                    else heapq.heappop(ready)[2]
+                if item_id in failed:
+                    continue
+                submit(item_id)
+
+        try:
+            fill()
+            while pending:
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values())
+                                  - time.monotonic())
+                done, _ = wait(pending, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    hung = [future for future in list(pending)
+                            if deadlines.get(future, float("inf"))
+                            <= time.monotonic() and not future.done()]
+                    if hung:
+                        return self._abandon_hung(hung, pending,
+                                                  settle_success)
+                    continue
+                for future in done:
+                    item_id = pending.pop(future)
+                    deadlines.pop(future, None)
+                    exc = future.exception()
+                    if exc is None:
+                        settle_success(item_id, future.result())
+                    elif isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        # Never swallow or retry an interrupt, whatever the
+                        # policy — mirror the in-process path exactly.
+                        for other in pending:
+                            other.cancel()
+                        raise exc
+                    elif isinstance(exc, BrokenProcessPool):
+                        return self._drain_broken(item_id, exc, pending,
+                                                  settle_success)
+                    elif self.attempts[item_id] <= budget:
+                        logger.info(
+                            "task retry: corner=%s attempt=%d/%d error=%s",
+                            by_id[item_id].describe(),
+                            self.attempts[item_id] + 1, budget + 1,
+                            type(exc).__name__)
+                        submit(item_id)  # BrokenProcessPool -> except below
+                    elif policy == ON_ERROR_ABORT:
+                        _give_up(by_id[item_id].payload,
+                                 self.attempts[item_id], exc)
+                    else:
+                        settle_failure(item_id, _failure_record(
+                            seq[item_id], by_id[item_id].payload,
+                            self.attempts[item_id], exc))
+                fill()
+        except BrokenProcessPool as submit_exc:
+            # pool.submit itself can raise when the executor broke between
+            # futures; salvage exactly like a future-delivered breakage.
+            first = submit_failed[0] if submit_failed else None
+            return self._drain_broken(first, submit_exc, pending,
+                                      settle_success)
+        return [], {}
+
+    def _abandon_hung(self, hung: list, pending: dict, settle_success,
+                      ) -> tuple[list[str], dict[str, BaseException]]:
+        """A worker exceeded ``task_timeout``: abandon it, recycle the pool.
+
+        The hung futures' items get a :class:`~repro.errors.TaskTimeoutError`
+        cause; every other unfinished item is rescheduled with the timeout
+        breakage as its (non-blaming) cause, exactly like a pool crash.  The
+        worker processes are SIGKILLed so the executor's shutdown cannot
+        block on the hung task — :meth:`SharedProcessPool.recycle` does both.
+        """
+        logger.warning(
+            "task timeout: hung_tasks=%d task_timeout=%gs action=%s",
+            len(hung), self.task_timeout, "kill workers, recycle pool")
+        timeout_exc = TaskTimeoutError(
+            f"task exceeded task_timeout={self.task_timeout:g} s; its worker "
+            "was killed and the pool recycled")
+        unfinished: list[str] = []
+        causes: dict[str, BaseException] = {}
+        hung_set = set(hung)
+        for future, item_id in pending.items():
+            # Read the outcome before any cancel(): a cancelled future's
+            # exception() raises CancelledError instead of returning.  A
+            # "hung" future that completed just after the deadline check is
+            # simply salvaged — no work is thrown away over a race.
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    settle_success(item_id, future.result())
+                    continue
+            else:
+                future.cancel()
+                exc = None
+            unfinished.append(item_id)
+            if exc is not None and not isinstance(exc, BrokenProcessPool):
+                causes[item_id] = exc
+            elif future in hung_set:
+                causes[item_id] = timeout_exc
+            else:
+                causes[item_id] = _TimedOut(
+                    "pool recycled while this task was queued")
+        self._pool.recycle()
+        return unfinished, causes
+
+    def _drain_broken(self, first_id: str | None, breakage: BaseException,
+                      pending: dict, settle_success,
+                      ) -> tuple[list[str], dict[str, BaseException]]:
+        """Salvage a broken pool's futures: keep results that did complete.
+
+        When the executor breaks, every remaining future settles at once;
+        items that finished successfully before the crash keep their results
+        and only the genuinely unfinished ones are rescheduled.  An item that
+        failed with its *own* exception keeps that exception as its blame
+        (so an exhausted retry chains the real traceback, not the breakage).
+        """
+        unfinished = [first_id] if first_id is not None else []
+        causes = {first_id: breakage} if first_id is not None else {}
+        for future, item_id in pending.items():
+            # Read the outcome before any cancel(): a cancelled future's
+            # exception() raises CancelledError instead of returning.
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    settle_success(item_id, future.result())
+                    continue
+            else:
+                future.cancel()
+                exc = None
+            unfinished.append(item_id)
+            causes[item_id] = breakage if exc is None \
+                or isinstance(exc, BrokenProcessPool) else exc
+        self._pool.recycle()
+        return unfinished, causes
+
+    def describe(self) -> str:
+        knobs = []
+        if self.retries:
+            knobs.append(f"retries={self.retries}")
+        if self.task_timeout is not None:
+            knobs.append(f"timeout={self.task_timeout:g}s")
+        suffix = ("," + ",".join(knobs)) if knobs else ""
+        return f"scheduler[{self.max_workers}{suffix}]"

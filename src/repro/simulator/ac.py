@@ -90,19 +90,41 @@ def _ac_rhs(circuit: Circuit, structure: MnaStructure) -> np.ndarray:
 
 
 def run_frequency_points(pattern: SharedPatternPair, frequencies: np.ndarray,
-                         solver: LinearSolver, per_point) -> None:
+                         solver: LinearSolver, per_point, *,
+                         rhs: np.ndarray | None = None,
+                         out: np.ndarray | None = None,
+                         multi_rhs: bool = False) -> None:
     """Evaluate ``per_point(solver_like, matrix, index)`` at every frequency.
 
     With ``solver.options.ac_workers > 1`` the frequency points are sharded
-    across that many worker threads: each worker gets a private assembly
-    buffer (:meth:`SharedPatternPair.with_private_buffer`) and a
+    across that many workers: each worker gets a private assembly buffer
+    (:meth:`SharedPatternPair.with_private_buffer`) and a
     :meth:`~repro.simulator.linalg.LinearSolver.spawn`-ed solver clone whose
     stats are merged back afterwards, so results and counters are identical
     to the serial sweep whichever width runs it.  ``per_point`` writes its
     result into caller-owned storage indexed by ``index``; the points are
     independent, so write order does not matter.
+
+    ``rhs``/``out``/``multi_rhs`` describe the sweep declaratively for the
+    process-level fan-out (``solver.options.ac_mode == "process"``): closures
+    cannot cross a process boundary, so when the caller supplies the
+    right-hand side and the output block directly, the frequency blocks are
+    shipped to the shared worker pool through shared memory
+    (:func:`repro.parallel.freq.run_frequency_blocks`) instead of threads.
+    Inside a pool worker — or when the sweep shape was not declared — the
+    thread path runs as the fallback, so nesting never happens and results
+    are bit-identical either way.
     """
     n_workers = min(solver.options.ac_workers, len(frequencies))
+    if (n_workers > 1 and solver.options.ac_mode == "process"
+            and rhs is not None and out is not None):
+        from ..parallel.freq import run_frequency_blocks
+        from ..parallel.pool import in_worker_process
+
+        if not in_worker_process():
+            run_frequency_blocks(pattern, frequencies, solver,
+                                 rhs=rhs, out=out, multi_rhs=multi_rhs)
+            return
     if n_workers <= 1:
         for index, frequency in enumerate(frequencies):
             per_point(solver, pattern.assemble(2j * np.pi * frequency), index)
@@ -166,6 +188,7 @@ def ac_analysis(circuit: Circuit, frequencies: np.ndarray | list[float],
     def per_point(point_solver: LinearSolver, matrix, index: int) -> None:
         vectors[index] = point_solver.solve(matrix, rhs, structure=structure)
 
-    run_frequency_points(pattern, frequencies, solver, per_point)
+    run_frequency_points(pattern, frequencies, solver, per_point,
+                         rhs=rhs, out=vectors)
     return AcSolution(circuit=circuit, structure=structure,
                       frequencies=frequencies, vectors=vectors)

@@ -30,6 +30,7 @@ from .backends import (
 # before any submodule import, which guarantees registration.
 from .multigrid import GridGeometry, MultigridSolver
 from .options import (
+    AC_MODES,
     BACKEND_DIRECT,
     BACKEND_ITERATIVE,
     BACKEND_MULTIGRID,
@@ -43,6 +44,7 @@ from .options import (
 )
 
 __all__ = [
+    "AC_MODES",
     "BACKENDS",
     "BACKEND_DIRECT",
     "BACKEND_ITERATIVE",

@@ -126,9 +126,19 @@ class LinearSolver:
 
     def absorb(self, worker: "LinearSolver") -> None:
         """Fold a :meth:`spawn`-ed worker's counters back into this solver."""
-        self.stats.merge(worker.stats)
+        self.absorb_stats(worker.stats)
+
+    def absorb_stats(self, stats: SolverStats) -> None:
+        """Fold a bare :class:`SolverStats` into this solver's counters.
+
+        The process-level frequency fan-out sends counters home *by value*
+        (a worker process's solver instance cannot travel back), so the
+        absorption seam accepts the stats object itself; :meth:`absorb`
+        is the thread-path convenience over it.
+        """
+        self.stats.merge(stats)
         if self._mirror_global:
-            global_stats.merge(worker.stats)
+            global_stats.merge(stats)
 
 
 class DirectLUSolver(LinearSolver):
@@ -550,10 +560,17 @@ def register_backend(name: str, cls: type[LinearSolver]) -> None:
     _BACKEND_CLASSES[name] = cls
 
 
-def make_solver(options: SolverOptions | None = None) -> LinearSolver:
-    """Instantiate the backend selected by ``options.backend``."""
+def make_solver(options: SolverOptions | None = None, *,
+                mirror_global: bool = True) -> LinearSolver:
+    """Instantiate the backend selected by ``options.backend``.
+
+    ``mirror_global=False`` builds the worker flavour — per-instance stats
+    only, exactly what :meth:`LinearSolver.spawn` produces — used by worker
+    *processes* that reconstruct their solver from pickled options.
+    """
     options = options or SolverOptions()
-    return _BACKEND_CLASSES[options.backend](options)
+    return _BACKEND_CLASSES[options.backend](options,
+                                             mirror_global=mirror_global)
 
 
 def resolve_solver(solver: "SolverOptions | LinearSolver | None"

@@ -49,6 +49,14 @@ MG_CYCLES = ("v", "w")
 #: single vectors.
 MG_MODES = ("auto", "standalone", "pcg")
 
+#: How ``ac_workers`` shards the frequency points of one AC sweep:
+#: "thread" fans out over worker threads inside the calling process (the
+#: historical behaviour, zero setup cost), "process" ships frequency blocks
+#: to the shared worker-process pool through shared memory (sidesteps the
+#: GIL on the pure-python assembly; falls back to threads inside a pool
+#: worker, where nesting executors is forbidden).
+AC_MODES = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class SolverOptions:
@@ -57,13 +65,16 @@ class SolverOptions:
     The defaults reproduce the historical behaviour exactly: direct LU
     everywhere, serial AC sweeps, analysis-supplied gmin.
 
-    ``ac_workers`` and ``max_cached_patterns`` are pure parallelism / memory
-    knobs with no influence on results, so they are excluded from content
-    fingerprints (extraction-cache keys, campaign resume identity) via
-    ``__fingerprint_exclude__``.
+    ``ac_workers``, ``ac_mode`` and ``max_cached_patterns`` are pure
+    parallelism / memory knobs with no influence on results — the process
+    fan-out is bit-identical to the serial sweep by construction — so they
+    are excluded from content fingerprints (extraction-cache keys, campaign
+    resume identity) via ``__fingerprint_exclude__``.  Every future
+    scheduler knob must join this tuple: parallelism must never invalidate
+    the extraction cache.
     """
 
-    __fingerprint_exclude__ = ("ac_workers", "max_cached_patterns")
+    __fingerprint_exclude__ = ("ac_workers", "ac_mode", "max_cached_patterns")
 
     #: one of :data:`BACKENDS`
     backend: str = BACKEND_DIRECT
@@ -86,8 +97,10 @@ class SolverOptions:
     iterative_fallback: bool = True
     #: symbolic analyses the reuse-lu backend keeps cached (LRU)
     max_cached_patterns: int = 8
-    #: worker threads sharding the frequency points of one AC sweep
+    #: workers sharding the frequency points of one AC sweep
     ac_workers: int = 1
+    #: executor of the AC fan-out, one of :data:`AC_MODES`
+    ac_mode: str = "thread"
     #: multigrid cycle shape, one of :data:`MG_CYCLES`
     mg_cycle: str = "v"
     #: multigrid smoother, one of :data:`MG_SMOOTHERS`
@@ -128,6 +141,10 @@ class SolverOptions:
             raise SimulationError("max_cached_patterns must be >= 1")
         if self.ac_workers < 1:
             raise SimulationError("ac_workers must be >= 1")
+        if self.ac_mode not in AC_MODES:
+            raise SimulationError(
+                f"unknown ac_mode {self.ac_mode!r}; "
+                f"choose one of {', '.join(AC_MODES)}")
         if self.mg_cycle not in MG_CYCLES:
             raise SimulationError(
                 f"unknown mg_cycle {self.mg_cycle!r}; "

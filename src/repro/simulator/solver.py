@@ -299,9 +299,40 @@ class SharedPatternPair:
         data[np.searchsorted(union_keys, keys)] = matrix.data
         return data
 
+    @classmethod
+    def from_arrays(cls, g_data: np.ndarray, c_data: np.ndarray,
+                    indices: np.ndarray, indptr: np.ndarray,
+                    shape: tuple[int, int]) -> "SharedPatternPair":
+        """Rehydrate a pair from its raw CSC arrays (already canonical).
+
+        This is the zero-copy entry point of the process-level frequency
+        fan-out: a worker attaches the parent's shared-memory views of
+        ``g_data``/``c_data``/``indices``/``indptr`` and rebuilds the pair
+        without re-deriving the union pattern — only the per-worker complex
+        assembly buffer is allocated.  The arrays are used as-is (views are
+        fine); callers must not mutate them afterwards.
+        """
+        pair = object.__new__(cls)
+        pair.g_data = g_data
+        pair.c_data = c_data
+        pair._matrix = sp.csc_matrix(
+            (np.zeros(len(g_data), dtype=complex), indices, indptr),
+            shape=shape)
+        return pair
+
     @property
     def shape(self) -> tuple[int, int]:
         return self._matrix.shape
+
+    @property
+    def csc_indices(self) -> np.ndarray:
+        """Row indices of the shared CSC pattern (what workers need to ship)."""
+        return self._matrix.indices
+
+    @property
+    def csc_indptr(self) -> np.ndarray:
+        """Column pointers of the shared CSC pattern."""
+        return self._matrix.indptr
 
     def assemble(self, s: complex) -> sp.csc_matrix:
         """Return ``G + s*C`` on the shared pattern (in-place data update)."""

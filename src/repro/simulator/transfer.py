@@ -167,7 +167,8 @@ def transfer_functions(circuit: Circuit, source_names: Sequence[str],
                                                    structure=structure)
             vectors[index] = factorization.solve(rhs_block)
 
-        run_frequency_points(pattern, frequencies, solver, per_point)
+        run_frequency_points(pattern, frequencies, solver, per_point,
+                             rhs=rhs_block, out=vectors, multi_rhs=True)
 
     results: dict[str, TransferFunction] = {}
     for column, name in enumerate(source_names):

@@ -7,15 +7,19 @@ decide *where* those tasks run:
 * :class:`SerialBackend` — in-process, in order; the reference for numerical
   equivalence and the best choice for tiny campaigns (no pickling, shares the
   parent's memory).
-* :class:`ProcessPoolBackend` — shards tasks across worker processes with
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Tasks are independent
-  (each carries its own extracted flow and builds its own testbench), so the
-  sharding is embarrassingly parallel; results are reassembled in task order,
-  which keeps the output bit-identical to the serial backend.
+* :class:`ProcessPoolBackend` — shards tasks across worker processes.  Since
+  the unified scheduler landed this is a thin adapter over
+  :class:`~repro.parallel.scheduler.WorkScheduler`: the flat task list
+  becomes a dependency-free work plan executed on the persistent
+  :func:`~repro.parallel.pool.shared_pool`, so campaign corners, extraction
+  items and process-level frequency shards all share one set of warm
+  workers.  Results are reassembled in task order, which keeps the output
+  bit-identical to the serial backend.
 
 Both implement the same protocol (``run`` plus a ``describe`` for benchmarks)
-and share one retry/failure-policy layer, so a campaign behaves identically
-whichever backend executes it:
+and share one retry/failure-policy layer (:mod:`repro.parallel.plan` — this
+module re-exports the vocabulary for compatibility), so a campaign behaves
+identically whichever backend executes it:
 
 * **retries** — a task that raises is re-attempted up to ``retries`` times;
   per-task attempt counts land in ``task_attempts`` after every ``run``.
@@ -42,150 +46,38 @@ whichever backend executes it:
 
 from __future__ import annotations
 
-import os
-import random
-import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, TypeVar
 
-from ..errors import AnalysisError, CampaignError, CornerFailure, TaskTimeoutError
+from ..errors import AnalysisError
 from ..obs import get_logger
+from ..parallel.plan import (
+    ON_ERROR_ABORT,
+    ON_ERROR_POLICIES,
+    ON_ERROR_RETRY_THEN_SKIP,
+    ON_ERROR_SKIP,
+    TaskFailure,
+    WorkItem,
+    _check_policy,
+    _run_with_retries,
+)
+from ..parallel.pool import default_max_workers
+from ..parallel.scheduler import WorkScheduler
+
+__all__ = [
+    "ON_ERROR_ABORT",
+    "ON_ERROR_POLICIES",
+    "ON_ERROR_RETRY_THEN_SKIP",
+    "ON_ERROR_SKIP",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepBackend",
+    "TaskFailure",
+]
 
 logger = get_logger(__name__)
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
-
-#: Campaign failure policies accepted by ``run(..., on_error=...)``.
-ON_ERROR_ABORT = "abort"
-ON_ERROR_SKIP = "skip"
-ON_ERROR_RETRY_THEN_SKIP = "retry_then_skip"
-ON_ERROR_POLICIES = (ON_ERROR_ABORT, ON_ERROR_SKIP, ON_ERROR_RETRY_THEN_SKIP)
-
-
-def _task_label(task) -> str:
-    """Identity of a task for failure messages.
-
-    Runner tasks describe their own sweep corner via ``corner_label``; any
-    other payload falls back to a truncated repr.
-    """
-    label = getattr(task, "corner_label", None)
-    if callable(label):
-        return label()
-    text = repr(task)
-    return text if len(text) <= 200 else text[:197] + "..."
-
-
-def _check_policy(on_error: str) -> str:
-    if on_error not in ON_ERROR_POLICIES:
-        raise AnalysisError(
-            f"unknown failure policy {on_error!r}; choose one of "
-            f"{', '.join(ON_ERROR_POLICIES)}")
-    return on_error
-
-
-def _effective_retries(retries: int, policy: str) -> int:
-    """Retry budget under a policy: ``skip`` means one attempt, no retries."""
-    return 0 if policy == ON_ERROR_SKIP else retries
-
-
-def _traceback_summary(exc: BaseException, limit: int = 4) -> str:
-    """The last few frames of ``exc``'s traceback, newline-joined."""
-    frames = traceback.format_exception(type(exc), exc, exc.__traceback__)
-    tail = "".join(frames[-limit:]) if frames else ""
-    return tail.strip()[-2000:]
-
-
-@dataclass(frozen=True)
-class TaskFailure:
-    """Structured outcome of a task that exhausted its attempts.
-
-    Returned in the task's result slot when the failure policy is a skip
-    variant; the runner converts these into
-    :class:`~repro.errors.CornerFailure` records with corner coordinates.
-    """
-
-    index: int                  #: position in the submitted task list
-    label: str                  #: ``corner_label()`` / repr of the task
-    error_type: str             #: exception class name
-    message: str                #: exception message (truncated)
-    attempts: int               #: attempts spent
-    timed_out: bool = False     #: failure was a ``task_timeout`` trip
-    traceback_summary: str = ""
-
-    def as_corner_failure(self, *, variant_index: int = -1,
-                          injected_power_dbm: float = float("nan"),
-                          vtune: float = float("nan")) -> CornerFailure:
-        return CornerFailure(
-            corner_label=self.label, error_type=self.error_type,
-            message=self.message, attempts=self.attempts,
-            timed_out=self.timed_out,
-            traceback_summary=self.traceback_summary,
-            variant_index=variant_index,
-            injected_power_dbm=injected_power_dbm, vtune=vtune)
-
-
-def _failure_record(index: int, task, attempts: int,
-                    exc: BaseException | None) -> TaskFailure:
-    if exc is None:
-        return TaskFailure(index=index, label=_task_label(task),
-                           error_type="Unknown",
-                           message="task never completed (worker pool broke "
-                                   "repeatedly)",
-                           attempts=attempts)
-    message = str(exc)
-    return TaskFailure(
-        index=index, label=_task_label(task),
-        error_type=type(exc).__name__,
-        message=message if len(message) <= 500 else message[:497] + "...",
-        attempts=attempts,
-        timed_out=isinstance(exc, (TaskTimeoutError, TimeoutError)),
-        traceback_summary=_traceback_summary(exc))
-
-
-def _give_up(task, attempts: int, exc: BaseException) -> None:
-    """Abort-policy terminal: raise a CampaignError naming the corner."""
-    failure = _failure_record(-1, task, attempts, exc)
-    raise CampaignError(
-        f"sweep task failed after {attempts} attempt(s): "
-        f"{_task_label(task)}", failures=(failure,)) from exc
-
-
-def _run_with_retries(fn: Callable[[TaskT], ResultT], task: TaskT,
-                      index: int, attempts: list[int], retries: int,
-                      policy: str,
-                      on_start: Callable[[int, int], None] | None = None,
-                      ) -> "ResultT | TaskFailure":
-    """In-process attempt loop shared by the serial and single-worker paths.
-
-    Retries on ``Exception`` only — ``KeyboardInterrupt`` / ``SystemExit``
-    (and any other ``BaseException``) always propagate, whatever the policy:
-    a Ctrl-C must stop the campaign, not be recorded as a corner failure.
-    ``on_start(index, attempt)`` fires before every attempt (attempt >= 1).
-    """
-    budget = _effective_retries(retries, policy)
-    while True:
-        attempts[index] += 1
-        if on_start is not None:
-            on_start(index, attempts[index])
-        try:
-            return fn(task)
-        except Exception as exc:
-            if attempts[index] <= budget:
-                logger.info(
-                    "task retry: corner=%s attempt=%d/%d error=%s",
-                    _task_label(task), attempts[index], budget + 1,
-                    type(exc).__name__)
-                continue
-            if policy == ON_ERROR_ABORT:
-                _give_up(task, attempts[index], exc)
-            logger.warning(
-                "task exhausted: corner=%s attempts=%d error=%s policy=%s",
-                _task_label(task), attempts[index], type(exc).__name__, policy)
-            return _failure_record(index, task, attempts[index], exc)
 
 
 class SweepBackend(Protocol):
@@ -253,10 +145,6 @@ class SerialBackend:
         return "serial"
 
 
-class _TimedOut(Exception):
-    """Internal marker cause for a task abandoned by a timeout trip."""
-
-
 class ProcessPoolBackend:
     """Shard tasks across worker processes, with retries, timeouts and backoff.
 
@@ -285,6 +173,12 @@ class ProcessPoolBackend:
     parent down — there is no pool to break.)  ``task_attempts`` records how
     many attempts each task of the last ``run`` took, so campaigns can
     report flaky-worker churn.
+
+    All of the above is implemented by
+    :class:`~repro.parallel.scheduler.WorkScheduler` (this class merely
+    translates the flat task list into a dependency-free work plan); the
+    default worker count honours ``REPRO_MAX_WORKERS`` via
+    :func:`~repro.parallel.pool.default_max_workers`.
     """
 
     def __init__(self, max_workers: int | None = None, retries: int = 0,
@@ -293,36 +187,19 @@ class ProcessPoolBackend:
                  backoff_seed: int | None = None):
         if max_workers is not None and max_workers < 1:
             raise AnalysisError("ProcessPoolBackend needs at least one worker")
-        if retries < 0:
-            raise AnalysisError("retries must be >= 0")
-        if task_timeout is not None and task_timeout <= 0:
-            raise AnalysisError("task_timeout must be positive (seconds)")
-        if backoff_base < 0 or backoff_max < 0:
-            raise AnalysisError("backoff delays must be >= 0")
-        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.max_workers = max_workers or default_max_workers()
+        self._scheduler = WorkScheduler(
+            max_workers=self.max_workers, retries=retries,
+            task_timeout=task_timeout, backoff_base=backoff_base,
+            backoff_max=backoff_max, backoff_seed=backoff_seed)
         self.retries = retries
         self.task_timeout = task_timeout
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
-        self._rng = random.Random(backoff_seed)
         #: per-task attempt counts of the most recent :meth:`run`
         self.task_attempts: list[int] = []
         #: pool rebuilds (crash or timeout) during the most recent :meth:`run`
         self.pool_rebuilds: int = 0
-
-    # -- backoff -------------------------------------------------------------
-
-    def _backoff_sleep(self, rebuilds: int) -> None:
-        """Jittered exponential delay before the ``rebuilds``-th fresh pool."""
-        if self.backoff_base <= 0:
-            return
-        delay = min(self.backoff_max,
-                    self.backoff_base * (2.0 ** (rebuilds - 1)))
-        # Full jitter in [delay/2, delay]: desynchronises concurrent
-        # campaigns hammering one broken shared resource.
-        time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
-
-    # -- execution -----------------------------------------------------------
 
     def run(self, fn: Callable[[TaskT], ResultT],
             tasks: Sequence[TaskT], *,
@@ -336,232 +213,63 @@ class ProcessPoolBackend:
         self.pool_rebuilds = 0
         if not tasks:
             return []
-        budget = _effective_retries(self.retries, policy)
-        # A pool larger than the task list would only spawn idle workers.
-        n_workers = min(self.max_workers, len(tasks))
-        if n_workers == 1:
-            results = []
-            for index, task in enumerate(tasks):
-                outcome = _run_with_retries(fn, task, index, attempts,
-                                            self.retries, policy, on_start)
-                results.append(outcome)
-                if on_result is not None \
-                        and not isinstance(outcome, TaskFailure):
-                    on_result(index, outcome)
-            return results
-        results: list = [None] * len(tasks)
-        remaining = list(range(len(tasks)))
-        while remaining:
-            # A hard-killed worker (OOM, segfault) breaks the whole executor
-            # and a hung worker trips the task timeout; the unfinished tasks
-            # then get a fresh pool, each having spent one attempt, until
-            # they succeed or exhaust their retries.
-            remaining, causes = self._pool_round(fn, tasks, results, attempts,
-                                                 remaining, n_workers, budget,
-                                                 policy, on_result, on_start)
-            exhausted = [index for index in remaining
-                         if attempts[index] > budget]
-            if exhausted:
-                if policy == ON_ERROR_ABORT:
-                    self._abort(tasks, attempts, exhausted, causes)
-                for index in exhausted:
-                    results[index] = _failure_record(index, tasks[index],
-                                                     attempts[index],
-                                                     causes.get(index))
-                remaining = [index for index in remaining
-                             if index not in set(exhausted)]
-            if remaining:
-                self.pool_rebuilds += 1
-                logger.warning(
-                    "worker pool rebuild: rebuilds=%d unfinished_tasks=%d",
-                    self.pool_rebuilds, len(remaining))
-                self._backoff_sleep(self.pool_rebuilds)
-        return results
+        items = [WorkItem(id=str(index), fn=fn, payload=task)
+                 for index, task in enumerate(tasks)]
 
-    def _abort(self, tasks, attempts: list[int], exhausted: list[int],
-               causes: dict[int, BaseException]) -> None:
-        """Abort policy: blame the right task and raise."""
-        # Blame a task that failed on its own if there is one; the rest
-        # merely shared a broken pool and may never have run, so they
-        # are reported as unfinished rather than as the failure.
-        blamed = next(
-            (index for index in exhausted
-             if causes.get(index) is not None
-             and not isinstance(causes[index], (BrokenProcessPool, _TimedOut))),
-            None)
-        if blamed is not None:
-            _give_up(tasks[blamed], attempts[blamed], causes[blamed])
-        first = exhausted[0]
-        failures = tuple(_failure_record(index, tasks[index], attempts[index],
-                                         causes.get(index))
-                         for index in exhausted)
-        raise CampaignError(
-            f"worker pool broke {attempts[first]} time(s); "
-            f"{len(exhausted)} task(s) exhausted their retries without "
-            f"completing, including: {_task_label(tasks[first])}",
-            failures=failures) from causes.get(first)
+        def adapt_start(item_id: str, attempt: int) -> None:
+            attempts[int(item_id)] = attempt
+            if on_start is not None:
+                on_start(int(item_id), attempt)
 
-    def _pool_round(self, fn: Callable[[TaskT], ResultT],
-                    tasks: Sequence[TaskT], results: list,
-                    attempts: list[int], indices: list[int],
-                    n_workers: int, budget: int, policy: str,
-                    on_result, on_start=None,
-                    ) -> tuple[list[int], dict[int, BaseException]]:
-        """One executor lifetime; returns (unfinished indices, their causes).
+        def adapt_result(item_id: str, result) -> None:
+            if on_result is not None:
+                on_result(int(item_id), result)
 
-        Per-task failures are retried within the round; a broken pool or a
-        timeout trip ends the round early with every not-yet-finished task
-        listed as unfinished (their submitted attempts count as spent).
+        scheduler = self._scheduler
+        try:
+            outcomes = scheduler.run(items, on_error=policy,
+                                     on_result=adapt_result,
+                                     on_start=adapt_start)
+        finally:
+            # Mirror the scheduler's churn bookkeeping into the flat,
+            # index-keyed views campaigns have always reported — also on an
+            # abort raise, where attempts were spent but no result returns.
+            for index in range(len(tasks)):
+                attempts[index] = scheduler.attempts.get(str(index),
+                                                         attempts[index])
+            self.pool_rebuilds = scheduler.pool_rebuilds
+        return [outcomes[str(index)] for index in range(len(tasks))]
+
+    def run_graph(self, items: Sequence[WorkItem], *,
+                  on_error: str = ON_ERROR_ABORT,
+                  on_result: Callable[[str, object], None] | None = None,
+                  on_start: Callable[[str, int], None] | None = None,
+                  flat_ids: Sequence[str] = (),
+                  ) -> dict:
+        """Execute a dependency-aware :class:`WorkItem` plan; outcomes by id.
+
+        This is the runner's graph entry point: extraction items and the
+        corner items depending on them go down as *one* plan, so corners of
+        an already-cached variant overlap with extractions still running
+        instead of waiting behind a phase barrier.  Retry, timeout, backoff
+        and failure-policy semantics are exactly those of :meth:`run`.
+
+        ``flat_ids`` names the items whose attempt counts should populate
+        ``task_attempts`` (in that order) — the runner passes its corner item
+        ids so churn reporting matches the flat :meth:`run` path exactly.
         """
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            pending: dict = {}
-            deadlines: dict = {}
-
-            def submit(index: int):
-                attempts[index] += 1
-                if on_start is not None:
-                    on_start(index, attempts[index])
-                future = pool.submit(fn, tasks[index])
-                pending[future] = index
-                if self.task_timeout is not None:
-                    deadlines[future] = time.monotonic() + self.task_timeout
-
-            for index in indices:
-                submit(index)
-            while pending:
-                timeout = None
-                if deadlines:
-                    timeout = max(0.0, min(deadlines.values())
-                                  - time.monotonic())
-                done, _ = wait(pending, timeout=timeout,
-                               return_when=FIRST_COMPLETED)
-                if not done:
-                    hung = [future for future in list(pending)
-                            if deadlines.get(future, float("inf"))
-                            <= time.monotonic() and not future.done()]
-                    if hung:
-                        return self._abandon_hung(pool, hung, pending,
-                                                  results, on_result)
-                    continue
-                for future in done:
-                    index = pending.pop(future)
-                    deadlines.pop(future, None)
-                    exc = future.exception()
-                    if exc is None:
-                        results[index] = future.result()
-                        if on_result is not None:
-                            on_result(index, results[index])
-                    elif isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                        # Never swallow or retry an interrupt, whatever the
-                        # policy — mirror the in-process path exactly.
-                        for other in pending:
-                            other.cancel()
-                        raise exc
-                    elif isinstance(exc, BrokenProcessPool):
-                        return self._drain_broken(index, exc, pending,
-                                                  results, on_result)
-                    elif attempts[index] <= budget:
-                        logger.info(
-                            "task retry: corner=%s attempt=%d/%d error=%s",
-                            _task_label(tasks[index]), attempts[index] + 1,
-                            budget + 1, type(exc).__name__)
-                        try:
-                            submit(index)
-                        except BrokenProcessPool as submit_exc:
-                            return self._drain_broken(index, submit_exc,
-                                                      pending, results,
-                                                      on_result)
-                    elif policy == ON_ERROR_ABORT:
-                        _give_up(tasks[index], attempts[index], exc)
-                    else:
-                        results[index] = _failure_record(
-                            index, tasks[index], attempts[index], exc)
-        return [], {}
-
-    def _abandon_hung(self, pool, hung: list, pending: dict, results: list,
-                      on_result) -> tuple[list[int], dict[int, BaseException]]:
-        """A worker exceeded ``task_timeout``: abandon it, kill the pool.
-
-        The hung futures' tasks get a :class:`~repro.errors.TaskTimeoutError`
-        cause; every other unfinished task is rescheduled with the timeout
-        breakage as its (non-blaming) cause, exactly like a pool crash.  The
-        worker processes are killed so the executor's shutdown cannot block
-        on the hung task — the pool is unusable afterwards and the caller
-        builds a fresh one.
-        """
-        logger.warning(
-            "task timeout: hung_tasks=%d task_timeout=%gs action=%s",
-            len(hung), self.task_timeout, "kill workers, recycle pool")
-        timeout_exc = TaskTimeoutError(
-            f"task exceeded task_timeout={self.task_timeout:g} s; its worker "
-            "was killed and the pool recycled")
-        unfinished: list[int] = []
-        causes: dict[int, BaseException] = {}
-        hung_set = set(hung)
-        for future, index in pending.items():
-            # Read the outcome before any cancel(): a cancelled future's
-            # exception() raises CancelledError instead of returning.  A
-            # "hung" future that completed just after the deadline check is
-            # simply salvaged — no work is thrown away over a race.
-            if future.done() and not future.cancelled():
-                exc = future.exception()
-                if exc is None:
-                    results[index] = future.result()
-                    if on_result is not None:
-                        on_result(index, results[index])
-                    continue
-            else:
-                future.cancel()
-                exc = None
-            unfinished.append(index)
-            if exc is not None and not isinstance(exc, BrokenProcessPool):
-                causes[index] = exc
-            elif future in hung_set:
-                causes[index] = timeout_exc
-            else:
-                causes[index] = _TimedOut(
-                    "pool recycled while this task was queued")
-        # SIGKILL the workers: a hung task never returns, so a graceful
-        # shutdown would block exactly like the wait() we just rescued.
-        for process in list(getattr(pool, "_processes", {}).values()):
-            try:
-                process.kill()
-            except (OSError, AttributeError):
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
-        return unfinished, causes
-
-    @staticmethod
-    def _drain_broken(first_index: int, breakage: BaseException,
-                      pending: dict, results: list, on_result,
-                      ) -> tuple[list[int], dict[int, BaseException]]:
-        """Salvage a broken pool's futures: keep results that did complete.
-
-        When the executor breaks, every remaining future settles at once;
-        tasks that finished successfully before the crash keep their results
-        and only the genuinely unfinished ones are rescheduled.  A task that
-        failed with its *own* exception keeps that exception as its blame
-        (so an exhausted retry chains the real traceback, not the breakage).
-        """
-        unfinished = [first_index]
-        causes = {first_index: breakage}
-        for future, index in pending.items():
-            # Read the outcome before any cancel(): a cancelled future's
-            # exception() raises CancelledError instead of returning.
-            if future.done() and not future.cancelled():
-                exc = future.exception()
-                if exc is None:
-                    results[index] = future.result()
-                    if on_result is not None:
-                        on_result(index, results[index])
-                    continue
-            else:
-                future.cancel()
-                exc = None
-            unfinished.append(index)
-            causes[index] = breakage if exc is None \
-                or isinstance(exc, BrokenProcessPool) else exc
-        return unfinished, causes
+        policy = _check_policy(on_error)
+        flat_ids = list(flat_ids)
+        self.task_attempts = [0] * len(flat_ids)
+        self.pool_rebuilds = 0
+        scheduler = self._scheduler
+        try:
+            return scheduler.run(items, on_error=policy,
+                                 on_result=on_result, on_start=on_start)
+        finally:
+            self.task_attempts = [scheduler.attempts.get(item_id, 0)
+                                  for item_id in flat_ids]
+            self.pool_rebuilds = scheduler.pool_rebuilds
 
     def describe(self) -> str:
         knobs = []

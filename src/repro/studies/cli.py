@@ -45,12 +45,15 @@ supported Python — TOML parsing needs the stdlib ``tomllib`` of 3.11+)::
     backend = "reuse-lu"        # "direct" | "reuse-lu" | "iterative"
                                 # | "multigrid"
     ac_workers = 1              # per-frequency fan-out inside one AC sweep
+    ac_mode = "thread"          # "thread" | "process": process ships the
+                                # frequency blocks to the shared worker pool
     mg_cycle = "v"              # multigrid knobs: "v" | "w" cycles,
     mg_smoother = "rbgs"        # "rbgs" | "jacobi" smoothing
 
     [execution]                 # defaults for the CLI flags
     backend = "serial"          # or "process-pool"
-    workers = 2
+    max_workers = 2             # worker processes ("workers" is an alias);
+                                # unset: REPRO_MAX_WORKERS or min(4, cpus)
     retries = 0
     cache_dir = ".repro-cache"
     result = "fig8_result.npz"
@@ -132,10 +135,18 @@ _OPTION_FIELDS = (
 
 @dataclass
 class ExecutionSettings:
-    """``[execution]`` table of a config, overridable by CLI flags."""
+    """``[execution]`` table of a config, overridable by CLI flags.
+
+    ``max_workers`` and ``workers`` are aliases (the former matches the
+    scheduler's vocabulary, the latter the original CLI flag); setting both
+    to different values is an error.  When neither is set, the pool width
+    falls back to :func:`~repro.parallel.pool.default_max_workers` — the
+    ``REPRO_MAX_WORKERS`` environment override, else ``min(4, cpus)``.
+    """
 
     backend: str = "serial"
     workers: int | None = None
+    max_workers: int | None = None
     retries: int = 0
     cache_dir: str | None = None
     result: str | None = None
@@ -144,11 +155,28 @@ class ExecutionSettings:
     checkpoint_corners: int = 1       #: journal flush cadence; 0 disables
     checkpoint_seconds: float = 30.0
 
+    def __post_init__(self) -> None:
+        for name in ("workers", "max_workers"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise AnalysisError(
+                    f"[execution] {name} must be >= 1, got {value}")
+        if (self.workers is not None and self.max_workers is not None
+                and self.workers != self.max_workers):
+            raise AnalysisError(
+                "[execution] sets both 'workers' and 'max_workers' to "
+                f"different values ({self.workers} vs {self.max_workers}); "
+                "they are aliases — set one")
+
+    def effective_workers(self) -> int | None:
+        """The configured pool width, or None for the environment default."""
+        return self.workers if self.workers is not None else self.max_workers
+
     def make_backend(self) -> SweepBackend:
         if self.backend == "serial":
             return SerialBackend(retries=self.retries)
         if self.backend == "process-pool":
-            return ProcessPoolBackend(max_workers=self.workers,
+            return ProcessPoolBackend(max_workers=self.effective_workers(),
                                       retries=self.retries,
                                       task_timeout=self.task_timeout)
         raise AnalysisError(
@@ -350,6 +378,10 @@ def _apply_overrides(execution: ExecutionSettings,
         value = getattr(args, field_name, None)
         if value is not None:
             updates[field_name] = value
+    if "workers" in updates:
+        # The CLI flag wins over a config-file max_workers alias; clearing
+        # it keeps the replace() below from tripping the conflict check.
+        updates["max_workers"] = None
     return replace(execution, **updates) if updates else execution
 
 

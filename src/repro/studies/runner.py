@@ -18,7 +18,10 @@ into a :class:`~repro.studies.results.SweepResult`:
 ``_execute_task`` is a module-level function with picklable payloads, which
 is what lets :class:`~repro.studies.backends.ProcessPoolBackend` ship tasks
 to worker processes; the extracted flow rides along in the task (a few tens
-of kilobytes), so workers never re-extract.
+of kilobytes), so workers never re-extract.  Against a backend with a graph
+entry point (``run_graph``) the two phases fuse into one dependency-aware
+plan — extractions and corners share the scheduler's worker pool, and each
+variant's flow ships through shared memory once instead of per corner.
 """
 
 from __future__ import annotations
@@ -77,15 +80,19 @@ class SweepTask:
     injected_power_dbm: float
     vtune: float
     noise_frequencies: tuple[float, ...]
-    flow: FlowResult                       #: pre-extracted models of the variant
+    flow: FlowResult | None                #: pre-extracted models of the variant
     first_point_index: int                 #: global index of the first point
     #: per-run trace handle re-parenting worker spans under the campaign
-    #: root; ``None`` whenever tracing is disabled.  Excluded from content
-    #: hashing — the same corner must fingerprint identically with and
-    #: without tracing.
+    #: root; ``None`` whenever tracing is disabled.
     trace: "TraceContext | None" = None
+    #: shared-memory reference resolving to ``flow`` (graph scheduling ships
+    #: each variant's extracted flow *once* instead of per corner); exactly
+    #: one of ``flow`` / ``flow_ref`` is set on a dispatched task.
+    flow_ref: object | None = None
 
-    __fingerprint_exclude__ = ("trace",)
+    # Excluded from content hashing: the same corner must fingerprint
+    # identically with and without tracing, and however its flow travelled.
+    __fingerprint_exclude__ = ("trace", "flow_ref")
 
     def corner_label(self) -> str:
         """Human-readable corner identity (used in failure messages)."""
@@ -142,8 +149,14 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
     # Local import: repro.core.vco_experiment uses the studies package for its
     # own sweeps, so the dependency must not be circular at import time.
     from ..core.vco_experiment import VcoImpactAnalysis
+    from ..parallel.shm import load_object
     from ..simulator.solver import SolverStats
     from ..simulator.solver import stats as solver_stats
+
+    if task.flow is None and task.flow_ref is not None:
+        # Graph scheduling ships the variant's flow through shared memory;
+        # the worker-side cache makes this one unpickle per variant.
+        task = replace(task, flow=load_object(task.flow_ref), flow_ref=None)
 
     before = {name: getattr(solver_stats, name)
               for name in SolverStats.DEGRADATION_COUNTERS}
@@ -251,27 +264,21 @@ class SweepRunner:
 
     # -- extraction ----------------------------------------------------------
 
-    def _extract_variants(self, campaign: Campaign,
+    def _plan_extractions(self, campaign: Campaign,
                           variants: list[LayoutVariant],
-                          ) -> tuple[list[VariantRecord],
-                                     dict[int, TaskFailure]]:
-        """Resolve every variant to a flow, extracting cache misses in bulk.
+                          ) -> tuple[list[str], dict[str, FlowResult],
+                                     set[str], dict[str, ExtractionTask]]:
+        """Cache-resolve every variant; plan the (deduplicated) misses.
 
-        The misses are fanned out through the campaign backend: on a cold
-        layout sweep with a process-pool backend, the per-variant extractions
-        (the expensive half of a study) run in parallel, not just the
-        simulations.
-
-        Under a skip policy an extraction that exhausts its attempts does not
-        abort: its variants come back with ``flow=None`` and the second
-        return value maps each affected variant index to the
-        :class:`~repro.studies.backends.TaskFailure` (the runner turns those
-        into per-corner failure records).
+        Returns ``(keys, resolved, hits, pending)``: the per-variant cache
+        keys in variant order, the flows already resolved (cache hits), the
+        subset of keys that were hits, and one :class:`ExtractionTask` per
+        distinct missing key.  Cache lookups stay parent-side, so workers
+        never race the extraction store.
         """
         keys: list[str] = []
         resolved: dict[str, FlowResult] = {}
         hits: set[str] = set()
-        failed_keys: dict[str, TaskFailure] = {}
         pending: dict[str, ExtractionTask] = {}   # key -> task, deduplicated
         for variant in variants:
             cell = campaign.build_cell(variant)
@@ -288,6 +295,29 @@ class SweepRunner:
                     variant_index=variant.index, cell=cell,
                     technology=self.technology,
                     flow_options=variant.flow_options)
+        return keys, resolved, hits, pending
+
+    def _extract_variants(self, campaign: Campaign,
+                          variants: list[LayoutVariant],
+                          ) -> tuple[list[VariantRecord],
+                                     dict[int, TaskFailure]]:
+        """Resolve every variant to a flow, extracting cache misses in bulk.
+
+        The misses are fanned out through the campaign backend: on a cold
+        layout sweep with a process-pool backend, the per-variant extractions
+        (the expensive half of a study) run in parallel, not just the
+        simulations.  (Backends with a graph entry point skip this phase
+        barrier entirely — see :meth:`_run_graph`.)
+
+        Under a skip policy an extraction that exhausts its attempts does not
+        abort: its variants come back with ``flow=None`` and the second
+        return value maps each affected variant index to the
+        :class:`~repro.studies.backends.TaskFailure` (the runner turns those
+        into per-corner failure records).
+        """
+        keys, resolved, hits, pending = self._plan_extractions(campaign,
+                                                               variants)
+        failed_keys: dict[str, TaskFailure] = {}
         tasks = list(pending.values())
         for key, flow in zip(pending, self.backend.run(_execute_extraction,
                                                        tasks,
@@ -316,6 +346,7 @@ class SweepRunner:
                      extracted: list[VariantRecord],
                      skip: frozenset[tuple[int, float, float]] = frozenset(),
                      unavailable: frozenset[int] = frozenset(),
+                     deferred: frozenset[int] = frozenset(),
                      ) -> list[SweepTask]:
         """One task per pending (variant, power, vtune) corner.
 
@@ -324,7 +355,11 @@ class SweepRunner:
         still advances past them, so merged records line up exactly with a
         never-interrupted run.  ``unavailable`` holds variant indices whose
         extraction failed under a skip policy — their corners are omitted too
-        (the runner records them as failures instead).
+        (the runner records them as failures instead).  ``deferred`` holds
+        variant indices whose extraction runs *inside* the same work plan as
+        the corners (graph scheduling): their tasks are legitimately built
+        with ``flow=None`` and receive the flow through the scheduler's
+        dependency binding just before dispatch.
         """
         powers, vtunes, frequencies = campaign.sim_grid()
         tasks: list[SweepTask] = []
@@ -339,7 +374,8 @@ class SweepRunner:
                                   flow=variant.flow_options)
                 for vtune in vtunes:
                     if (variant.index, power, vtune) not in skip:
-                        if record.flow is None:
+                        if (record.flow is None
+                                and variant.index not in deferred):
                             raise AnalysisError(
                                 f"variant {variant.index} has pending corners "
                                 "but no extracted flow (corrupt resume state)")
@@ -514,8 +550,34 @@ class SweepRunner:
             variant for variant in variants
             if any((variant.index, power, vtune) not in done
                    for power in powers for vtune in vtunes)]
-        extracted_records, failed_extractions = self._extract_variants(
-            campaign, pending_variants)
+        # Backends exposing a graph entry point (the scheduler-backed pool)
+        # run extractions and corners as ONE dependency-aware plan: corners
+        # of cached variants overlap with extractions still running instead
+        # of waiting behind the two-phase barrier below.
+        use_graph = callable(getattr(self.backend, "run_graph", None))
+        failed_extractions: dict[int, TaskFailure] = {}
+        graph_keys: list[str] = []
+        graph_resolved: dict[str, FlowResult] = {}
+        graph_pending: dict[str, ExtractionTask] = {}
+        deferred: frozenset[int] = frozenset()
+        if use_graph:
+            (graph_keys, graph_resolved, graph_hits,
+             graph_pending) = self._plan_extractions(campaign,
+                                                     pending_variants)
+            deferred = frozenset(
+                variant.index
+                for variant, key in zip(pending_variants, graph_keys)
+                if key in graph_pending)
+            extracted_records = [
+                VariantRecord(index=variant.index,
+                              knobs=dict(variant.knobs),
+                              spec=variant.spec, cache_key=key,
+                              flow=graph_resolved.get(key),
+                              from_cache=key in graph_hits)
+                for variant, key in zip(pending_variants, graph_keys)]
+        else:
+            extracted_records, failed_extractions = self._extract_variants(
+                campaign, pending_variants)
         extracted = {record.index: record for record in extracted_records}
         variant_records = [
             extracted.get(variant.index)
@@ -523,7 +585,8 @@ class SweepRunner:
             for variant in variants]
         tasks = self._build_tasks(campaign, variants, variant_records,
                                   skip=done,
-                                  unavailable=frozenset(failed_extractions))
+                                  unavailable=frozenset(failed_extractions),
+                                  deferred=deferred)
         if tracer.enabled:
             # Same context for every task: all corners of this run hang
             # directly off the campaign root span.
@@ -574,22 +637,45 @@ class SweepRunner:
                 observer.corner_started(tasks[index], attempt)
 
         try:
-            outcomes = self.backend.run(self._task_fn(), tasks,
-                                        on_error=self.on_error,
-                                        on_result=handle_result,
-                                        on_start=handle_start)
+            if use_graph:
+                outcomes = self._run_graph(tasks, pending_variants,
+                                           graph_keys, graph_resolved,
+                                           graph_pending, handle_result,
+                                           handle_start)
+            else:
+                outcomes = self.backend.run(self._task_fn(), tasks,
+                                            on_error=self.on_error,
+                                            on_result=handle_result,
+                                            on_start=handle_start)
         finally:
             # Journal every corner that completed, even when aborting: the
             # next run recovers them instead of recomputing.
             if checkpointer is not None:
                 checkpointer.flush()
 
+        if use_graph and graph_pending:
+            # Backfill the variant records of freshly extracted variants:
+            # their flows arrived through the plan, after the records were
+            # built (flows of variants that failed to extract stay None,
+            # exactly like the two-phase path).
+            refreshed = {record.index: record for record in variant_records}
+            for variant, key in zip(pending_variants, graph_keys):
+                record = refreshed[variant.index]
+                if record.flow is None and key in graph_resolved:
+                    refreshed[variant.index] = replace(
+                        record, flow=graph_resolved[key])
+            variant_records = [refreshed[variant.index]
+                               for variant in variants]
+
         degradations: dict[str, int] = dict(
             resume_from.solver_degradations) if resume_from else {}
         successes: list[TaskOutcome] = []
-        for outcome in outcomes:
+        # Position-keyed, not ``outcome.index``-keyed: a corner doomed by a
+        # failed extraction inherits the extraction's TaskFailure verbatim,
+        # whose index is the *extraction's* plan position.
+        for position, outcome in enumerate(outcomes):
             if isinstance(outcome, TaskFailure):
-                task = tasks[outcome.index]
+                task = tasks[position]
                 failure = outcome.as_corner_failure(
                     variant_index=task.variant_index,
                     injected_power_dbm=task.injected_power_dbm,
@@ -626,6 +712,89 @@ class SweepRunner:
             failures=failures,
             solver_degradations=degradations,
             telemetry=telemetry)
+
+    def _run_graph(self, tasks: list[SweepTask],
+                   pending_variants: list[LayoutVariant],
+                   keys: list[str],
+                   resolved: "dict[str, FlowResult]",
+                   pending: dict[str, ExtractionTask],
+                   handle_result, handle_start):
+        """Execute extractions and corners as one dependency-aware plan.
+
+        Extraction items (``x<j>``, one per distinct cache key, priority 0)
+        and corner items (``c<i>``, priority 1) go down the scheduler
+        together; corners of a cache-missing variant depend on its extraction
+        item and receive the flow through the item's ``bind`` hook just
+        before dispatch.  With real worker processes involved, each variant's
+        flow ships through shared memory **once**
+        (:class:`~repro.parallel.shm.ObjectShipper`) and every corner carries
+        only a tiny reference; the inline single-worker plan passes flows by
+        reference instead.  Returns the corner outcomes in task order —
+        numerically identical to the two-phase path.
+        """
+        from ..parallel.plan import WorkItem
+        from ..parallel.shm import ObjectShipper
+
+        key_by_variant = {variant.index: key
+                          for variant, key in zip(pending_variants, keys)}
+        xid_by_key = {key: f"x{position}"
+                      for position, key in enumerate(pending)}
+        key_by_xid = {xid: key for key, xid in xid_by_key.items()}
+        n_items = len(pending) + len(tasks)
+        ship = min(getattr(self.backend, "max_workers", 1), n_items) > 1
+        shipper = ObjectShipper()
+        task_fn = self._task_fn()
+
+        items = [WorkItem(id=xid_by_key[key], fn=_execute_extraction,
+                          payload=extraction, priority=0)
+                 for key, extraction in pending.items()]
+        for position, task in enumerate(tasks):
+            key = key_by_variant[task.variant_index]
+            deps: tuple[str, ...] = ()
+            bind = None
+            payload = task
+            if key in xid_by_key:
+                xid = xid_by_key[key]
+                deps = (xid,)
+                if ship:
+                    def bind(payload, dep_results, key=key, xid=xid):
+                        return replace(payload, flow_ref=shipper.ref_for(
+                            key, dep_results[xid]))
+                else:
+                    def bind(payload, dep_results, xid=xid):
+                        return replace(payload, flow=dep_results[xid])
+            elif ship and task.flow is not None:
+                payload = replace(task, flow=None,
+                                  flow_ref=shipper.ref_for(key, task.flow))
+            items.append(WorkItem(id=f"c{position}", fn=task_fn,
+                                  payload=payload, deps=deps, priority=1,
+                                  bind=bind))
+
+        def on_result(item_id: str, value) -> None:
+            if item_id.startswith("x"):
+                key = key_by_xid[item_id]
+                self.cache.store(key, value)
+                resolved[key] = value
+            elif handle_result is not None:
+                handle_result(int(item_id[1:]), value)
+
+        on_start = None
+        if handle_start is not None:
+            def on_start(item_id: str, attempt: int) -> None:
+                if item_id.startswith("c"):
+                    handle_start(int(item_id[1:]), attempt)
+
+        try:
+            outcome_map = self.backend.run_graph(
+                items, on_error=self.on_error, on_result=on_result,
+                on_start=on_start,
+                flat_ids=[f"c{position}" for position in range(len(tasks))])
+        finally:
+            # Workers that still hold a mapped segment keep it alive; the
+            # parent-side dispose only unlinks the names.
+            shipper.close()
+        return [outcome_map[f"c{position}"]
+                for position in range(len(tasks))]
 
     def _build_telemetry(self, *, solver_before: dict[str, int],
                          cache_hits: int, cache_misses: int,
