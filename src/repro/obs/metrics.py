@@ -161,7 +161,9 @@ class MetricsRegistry:
 
     def absorb_cache_stats(self, stats, **labels) -> None:
         """Fold ``CacheStats`` (or its disk subclass) in as counters."""
-        for name in ("hits", "misses", "evictions", "corrupted"):
+        for name in ("hits", "misses", "evictions", "corrupted",
+                     "quarantined", "leases_claimed", "leases_stolen",
+                     "lease_waits", "publishes", "publishes_rejected"):
             value = getattr(stats, name, 0)
             if value:
                 self.counter(f"cache.{name}", **labels).add(value)
@@ -185,6 +187,9 @@ class MetricsRegistry:
         rebuilds = getattr(backend, "pool_rebuilds", 0)
         if rebuilds:
             self.counter("campaign.pool_rebuilds").add(rebuilds)
+        trips = getattr(backend, "heartbeat_trips", 0)
+        if trips:
+            self.counter("campaign.heartbeat_trips").add(trips)
 
 
 registry = MetricsRegistry()

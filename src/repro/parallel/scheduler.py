@@ -33,15 +33,19 @@ from __future__ import annotations
 
 import heapq
 import random
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import AnalysisError, CampaignError, TaskTimeoutError
 from ..obs import get_logger
 from .plan import (
     ON_ERROR_ABORT,
+    HeartbeatedCall,
+    HeartbeatSpec,
     TaskFailure,
     WorkItem,
     _check_policy,
@@ -73,26 +77,40 @@ class WorkScheduler:
                  task_timeout: float | None = None,
                  backoff_base: float = 0.25, backoff_max: float = 8.0,
                  backoff_seed: int | None = None,
-                 pool: SharedProcessPool | None = None):
+                 pool: SharedProcessPool | None = None,
+                 heartbeat_timeout: float | None = None):
         if max_workers is not None and max_workers < 1:
             raise AnalysisError("WorkScheduler needs at least one worker")
         if retries < 0:
             raise AnalysisError("retries must be >= 0")
         if task_timeout is not None and task_timeout <= 0:
             raise AnalysisError("task_timeout must be positive (seconds)")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise AnalysisError("heartbeat_timeout must be positive (seconds)")
         if backoff_base < 0 or backoff_max < 0:
             raise AnalysisError("backoff delays must be >= 0")
         self.max_workers = max_workers or default_max_workers()
         self.retries = retries
         self.task_timeout = task_timeout
+        self.heartbeat_timeout = heartbeat_timeout
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self._rng = random.Random(backoff_seed)
         self._pool = pool if pool is not None else shared_pool()
+        self._heartbeat: HeartbeatSpec | None = None
+        if heartbeat_timeout is not None:
+            # Workers stamp every timeout/4, so one lost stamp is noise and
+            # a stale mtime means several consecutive misses — a wedged
+            # process, not a slow filesystem.
+            self._heartbeat = HeartbeatSpec(
+                directory=tempfile.mkdtemp(prefix="repro-heartbeat-"),
+                interval=max(0.05, heartbeat_timeout / 4.0))
         #: per-item attempt counts of the most recent :meth:`run`
         self.attempts: dict[str, int] = {}
         #: pool rebuilds (crash or timeout) during the most recent :meth:`run`
         self.pool_rebuilds: int = 0
+        #: heartbeat-staleness trips during the most recent :meth:`run`
+        self.heartbeat_trips: int = 0
 
     # -- backoff -------------------------------------------------------------
 
@@ -127,6 +145,7 @@ class WorkScheduler:
         validate_plan(items)
         self.attempts = {item.id: 0 for item in items}
         self.pool_rebuilds = 0
+        self.heartbeat_trips = 0
         if not items:
             return {}
         budget = _effective_retries(self.retries, policy)
@@ -296,8 +315,10 @@ class WorkScheduler:
             self.attempts[item_id] += 1
             if on_start is not None:
                 on_start(item_id, self.attempts[item_id])
+            fn = item.fn if self._heartbeat is None \
+                else HeartbeatedCall(self._heartbeat, item.fn)
             try:
-                future = pool.submit(item.fn, bound_payload(item))
+                future = pool.submit(fn, bound_payload(item))
             except BrokenProcessPool:
                 # The attempt is spent but no future exists; remember the
                 # item so the salvage path reschedules it.
@@ -324,6 +345,11 @@ class WorkScheduler:
                 if deadlines:
                     timeout = max(0.0, min(deadlines.values())
                                   - time.monotonic())
+                if self._heartbeat is not None:
+                    # Wake at heartbeat granularity so a silently wedged
+                    # worker is noticed long before the wall-clock deadline.
+                    beat = max(0.05, self.heartbeat_timeout / 2.0)
+                    timeout = beat if timeout is None else min(timeout, beat)
                 done, _ = wait(pending, timeout=timeout,
                                return_when=FIRST_COMPLETED)
                 if not done:
@@ -333,6 +359,21 @@ class WorkScheduler:
                     if hung:
                         return self._abandon_hung(hung, pending,
                                                   settle_success)
+                    silent = self._silent_workers(pool)
+                    if silent:
+                        self.heartbeat_trips += 1
+                        logger.warning(
+                            "worker heartbeat lost: pids=%s "
+                            "heartbeat_timeout=%gs action=%s",
+                            silent, self.heartbeat_timeout,
+                            "kill workers, recycle pool")
+                        return self._abandon_hung(
+                            list(pending), pending, settle_success,
+                            reason=(
+                                f"worker heartbeat silent for "
+                                f"{self.heartbeat_timeout:g} s (wedged "
+                                f"process pid(s) {silent}); the workers "
+                                "were killed and the pool recycled"))
                     continue
                 for future in done:
                     item_id = pending.pop(future)
@@ -372,7 +413,30 @@ class WorkScheduler:
                                       settle_success)
         return [], {}
 
+    def _silent_workers(self, pool) -> list[int]:
+        """Pids of current pool workers whose heartbeat stamps went stale.
+
+        A worker only counts once it has stamped at least one heartbeat
+        (its first task starts the stamper thread) — a missing file means
+        "idle or still importing", a stale mtime means several consecutive
+        missed stamps from a process that used to stamp: wedged.
+        """
+        if self._heartbeat is None:
+            return []
+        processes = getattr(pool, "_processes", None) or {}
+        cutoff = time.time() - self.heartbeat_timeout
+        silent = []
+        for pid in list(processes):
+            try:
+                mtime = self._heartbeat.path_for(pid).stat().st_mtime
+            except OSError:
+                continue
+            if mtime < cutoff:
+                silent.append(pid)
+        return silent
+
     def _abandon_hung(self, hung: list, pending: dict, settle_success,
+                      reason: str | None = None,
                       ) -> tuple[list[str], dict[str, BaseException]]:
         """A worker exceeded ``task_timeout``: abandon it, recycle the pool.
 
@@ -381,11 +445,13 @@ class WorkScheduler:
         breakage as its (non-blaming) cause, exactly like a pool crash.  The
         worker processes are SIGKILLed so the executor's shutdown cannot
         block on the hung task — :meth:`SharedProcessPool.recycle` does both.
+        A heartbeat trip reuses this path with its own ``reason``.
         """
         logger.warning(
-            "task timeout: hung_tasks=%d task_timeout=%gs action=%s",
+            "task timeout: hung_tasks=%d task_timeout=%ss action=%s",
             len(hung), self.task_timeout, "kill workers, recycle pool")
         timeout_exc = TaskTimeoutError(
+            reason if reason is not None else
             f"task exceeded task_timeout={self.task_timeout:g} s; its worker "
             "was killed and the pool recycled")
         unfinished: list[str] = []
@@ -451,5 +517,7 @@ class WorkScheduler:
             knobs.append(f"retries={self.retries}")
         if self.task_timeout is not None:
             knobs.append(f"timeout={self.task_timeout:g}s")
+        if self.heartbeat_timeout is not None:
+            knobs.append(f"heartbeat={self.heartbeat_timeout:g}s")
         suffix = ("," + ",".join(knobs)) if knobs else ""
         return f"scheduler[{self.max_workers}{suffix}]"

@@ -55,7 +55,15 @@ from .backends import (
     TaskFailure,
 )
 from .cache import CacheStats, ExtractionCache, extraction_key, fingerprint
-from .faults import FaultPlan, FaultSpec, InjectedFault
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm_crash_points,
+    crashpoint,
+    disarm_crash_points,
+    fault_region,
+)
 from .params import (
     AXIS_INJECTED_POWER,
     AXIS_NOISE_FREQUENCY,
@@ -73,7 +81,12 @@ from .persist import (
 )
 from .results import PointRecord, SweepResult, VariantRecord
 from .runner import SweepRunner, SweepTask
-from .store import CacheCorruptionWarning, DiskCacheStats, DiskExtractionCache
+from .store import (
+    CacheCorruptionWarning,
+    DiskCacheStats,
+    DiskExtractionCache,
+    ExtractionLease,
+)
 
 __all__ = [
     "AXIS_INJECTED_POWER",
@@ -89,9 +102,14 @@ __all__ = [
     "DiskCacheStats",
     "DiskExtractionCache",
     "ExtractionCache",
+    "ExtractionLease",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "arm_crash_points",
+    "crashpoint",
+    "disarm_crash_points",
+    "fault_region",
     "LayoutVariant",
     "ON_ERROR_ABORT",
     "ON_ERROR_POLICIES",

@@ -184,16 +184,19 @@ class ProcessPoolBackend:
     def __init__(self, max_workers: int | None = None, retries: int = 0,
                  task_timeout: float | None = None,
                  backoff_base: float = 0.25, backoff_max: float = 8.0,
-                 backoff_seed: int | None = None):
+                 backoff_seed: int | None = None,
+                 heartbeat_timeout: float | None = None):
         if max_workers is not None and max_workers < 1:
             raise AnalysisError("ProcessPoolBackend needs at least one worker")
         self.max_workers = max_workers or default_max_workers()
         self._scheduler = WorkScheduler(
             max_workers=self.max_workers, retries=retries,
             task_timeout=task_timeout, backoff_base=backoff_base,
-            backoff_max=backoff_max, backoff_seed=backoff_seed)
+            backoff_max=backoff_max, backoff_seed=backoff_seed,
+            heartbeat_timeout=heartbeat_timeout)
         self.retries = retries
         self.task_timeout = task_timeout
+        self.heartbeat_timeout = heartbeat_timeout
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         #: per-task attempt counts of the most recent :meth:`run`

@@ -154,6 +154,8 @@ class ExecutionSettings:
     task_timeout: float | None = None
     checkpoint_corners: int = 1       #: journal flush cadence; 0 disables
     checkpoint_seconds: float = 30.0
+    lease_stale_seconds: float = 30.0  #: steal extraction leases older than T
+    heartbeat_seconds: float | None = None  #: worker liveness bound (pool)
 
     def __post_init__(self) -> None:
         for name in ("workers", "max_workers"):
@@ -161,6 +163,12 @@ class ExecutionSettings:
             if value is not None and value < 1:
                 raise AnalysisError(
                     f"[execution] {name} must be >= 1, got {value}")
+        if self.lease_stale_seconds <= 0:
+            raise AnalysisError(
+                "[execution] lease_stale_seconds must be positive")
+        if self.heartbeat_seconds is not None and self.heartbeat_seconds <= 0:
+            raise AnalysisError(
+                "[execution] heartbeat_seconds must be positive")
         if (self.workers is not None and self.max_workers is not None
                 and self.workers != self.max_workers):
             raise AnalysisError(
@@ -178,14 +186,17 @@ class ExecutionSettings:
         if self.backend == "process-pool":
             return ProcessPoolBackend(max_workers=self.effective_workers(),
                                       retries=self.retries,
-                                      task_timeout=self.task_timeout)
+                                      task_timeout=self.task_timeout,
+                                      heartbeat_timeout=self.heartbeat_seconds)
         raise AnalysisError(
             f"unknown backend {self.backend!r} (choose 'serial' or "
             "'process-pool')")
 
     def make_cache(self) -> ExtractionCache:
         if self.cache_dir:
-            return DiskExtractionCache(self.cache_dir)
+            return DiskExtractionCache(
+                self.cache_dir,
+                lease_stale_seconds=self.lease_stale_seconds)
         return ExtractionCache()
 
     def make_checkpoint(self) -> CheckpointPolicy | None:
@@ -642,6 +653,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for key, value in cache.describe().items():
             print(f"{key:15s}: {value}")
         return 0
+    if args.cache_command == "verify":
+        report = cache.verify(repair=args.repair)
+        print(f"checked        : {report['checked']}")
+        print(f"ok             : {report['ok']}")
+        print(f"stale          : {len(report['stale'])}")
+        print(f"corrupt        : {len(report['corrupt'])}")
+        print(f"quarantined    : {report['quarantine_entries']}")
+        for problem in report["corrupt"]:
+            print(f"  corrupt {problem['entry']}: {problem['error']}")
+        for name in report["stale"]:
+            print(f"  stale   {name}")
+        if report["corrupt"] or report["stale"]:
+            action = ("corrupt entries quarantined, stale entries evicted"
+                      if args.repair else "run with --repair to quarantine "
+                      "corrupt entries and evict stale ones")
+            print(action)
+            return 3
+        return 0
     # prune
     if args.all:
         removed, freed = len(cache), cache.disk_bytes()
@@ -741,6 +770,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats = cache_sub.add_parser("stats", help="entry count and disk usage")
     stats.add_argument("--cache-dir", dest="cache_dir", required=True)
     stats.set_defaults(handler=_cmd_cache)
+    verify = cache_sub.add_parser(
+        "verify", help="audit every entry's envelope and payload checksum")
+    verify.add_argument("--cache-dir", dest="cache_dir", required=True)
+    verify.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt entries and evict entries "
+                             "from other format/code versions")
+    verify.set_defaults(handler=_cmd_cache)
     prune = cache_sub.add_parser("prune", help="evict cache entries")
     prune.add_argument("--cache-dir", dest="cache_dir", required=True)
     prune.add_argument("--max-entries", type=int, default=None,

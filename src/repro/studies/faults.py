@@ -18,11 +18,25 @@ atomically claims the next attempt number, whichever process it runs in, so
 Everything here is picklable (plain dataclasses plus a module-level wrapper
 class), which is what lets a plan ride into
 :class:`~repro.studies.backends.ProcessPoolBackend` workers.
+
+Below the task-level faults sits a second, filesystem-level harness:
+**crash points**.  The store and the journal bracket their critical
+filesystem sequences in :func:`fault_region` tags (``"claimer"``,
+``"publisher"``, ``"journal"``) and call :func:`crashpoint` before each
+primitive operation (``"write"``, ``"fsync"``, ``"rename"``).  Arming a spec
+— via :func:`arm_crash_points` or the ``REPRO_CRASH_POINTS`` environment
+variable, format ``tag:op:k[,tag:op:k...]`` — makes the process die with
+``os._exit`` at the *k*-th matching operation, exactly the way ``kill -9``
+lands between two syscalls.  Unarmed, a crash point is a no-op costing one
+``None`` check.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,7 +48,8 @@ FAULT_RAISE = "raise"          #: the task raises :class:`InjectedFault`
 FAULT_HANG = "hang"            #: the task sleeps far past any sane timeout
 FAULT_EXIT = "exit"            #: the task's process dies via ``os._exit``
 FAULT_CORRUPT = "corrupt"      #: a cached file is scribbled over, then run
-FAULT_KINDS = (FAULT_RAISE, FAULT_HANG, FAULT_EXIT, FAULT_CORRUPT)
+FAULT_STOP = "stop"            #: the worker SIGSTOPs itself: alive but silent
+FAULT_KINDS = (FAULT_RAISE, FAULT_HANG, FAULT_EXIT, FAULT_CORRUPT, FAULT_STOP)
 
 
 class InjectedFault(RuntimeError):
@@ -137,6 +152,13 @@ class FaultPlan:
                 os._exit(spec.exit_code)
             elif spec.kind == FAULT_CORRUPT:
                 _corrupt_one_file(spec.target)
+            elif spec.kind == FAULT_STOP:
+                # Freeze the process the way a SIGSTOP / stuck NFS mount /
+                # debugger attach does: the pid stays alive, futures never
+                # resolve, and nothing raises.  Only heartbeat monitoring can
+                # notice before the wall-clock timeout; the recycle's SIGKILL
+                # still reaps a stopped process.
+                os.kill(os.getpid(), signal.SIGSTOP)
 
 
 def _corrupt_one_file(target: str) -> None:
@@ -171,3 +193,123 @@ class FaultyCall:
     def __call__(self, task):
         self.plan.inject(task)
         return self.fn(task)
+
+
+# ---------------------------------------------------------------------------
+# Filesystem crash points
+# ---------------------------------------------------------------------------
+
+#: Environment variable carrying the armed crash-point spec.  Parsed at
+#: import, so freshly spawned interpreters (and forked pool workers, which
+#: inherit the parent's environment) arm themselves without cooperation.
+CRASH_POINTS_ENV = "REPRO_CRASH_POINTS"
+
+#: Exit status of a fired crash point — the same 137 a ``kill -9`` leaves.
+CRASH_EXIT_CODE = 137
+
+#: Operations a crash point can interrupt.
+CRASH_OPS = ("write", "fsync", "rename")
+
+#: Regions the store and journal tag.  Other tags are accepted; these are
+#: the ones the chaos matrix sweeps.
+CRASH_REGIONS = ("claimer", "publisher", "journal")
+
+# Armed spec: {(tag, op): k} meaning "die at the k-th (tag, op) hit", or
+# None when nothing is armed (the common case — crashpoint() returns after
+# a single attribute load).  Hit counters live beside it.
+_CRASH_SPECS: dict[tuple[str, str], int] | None = None
+_CRASH_HITS: dict[tuple[str, str], int] = {}
+_CRASH_LOCK = threading.Lock()
+_REGION = threading.local()
+
+
+def parse_crash_points(text: str) -> dict[tuple[str, str], int]:
+    """Parse ``"tag:op:k[,tag:op:k...]"`` into an armed-spec mapping."""
+    specs: dict[tuple[str, str], int] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) != 3:
+            raise AnalysisError(
+                f"bad crash-point spec {chunk!r}; expected tag:op:k")
+        tag, op, count = parts
+        if op not in CRASH_OPS:
+            raise AnalysisError(
+                f"unknown crash-point op {op!r}; choose one of "
+                f"{', '.join(CRASH_OPS)}")
+        try:
+            k = int(count)
+        except ValueError:
+            raise AnalysisError(
+                f"crash-point count {count!r} is not an integer") from None
+        if k < 1:
+            raise AnalysisError("a crash point must fire on hit >= 1")
+        specs[(tag, op)] = k
+    return specs
+
+
+def arm_crash_points(spec: str | None) -> None:
+    """Arm (or, with ``None``/empty, disarm) crash points in this process."""
+    global _CRASH_SPECS
+    with _CRASH_LOCK:
+        _CRASH_HITS.clear()
+        _CRASH_SPECS = parse_crash_points(spec) if spec else None
+
+
+def disarm_crash_points() -> None:
+    """Disarm all crash points and forget hit counters."""
+    arm_crash_points(None)
+
+
+@contextlib.contextmanager
+def fault_region(tag: str):
+    """Tag the enclosed block's :func:`crashpoint` calls with ``tag``.
+
+    Regions nest; the innermost tag wins.  Pure thread-local bookkeeping —
+    safe (and free) in production code paths.
+    """
+    stack = getattr(_REGION, "stack", None)
+    if stack is None:
+        stack = _REGION.stack = []
+    stack.append(tag)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def current_fault_region() -> str | None:
+    """The innermost active :func:`fault_region` tag, if any."""
+    stack = getattr(_REGION, "stack", None)
+    return stack[-1] if stack else None
+
+
+def crashpoint(op: str) -> None:
+    """Die via ``os._exit`` if an armed spec matches this (region, op) hit.
+
+    Unarmed (the default) this is a no-op.  Armed, the k-th matching hit
+    terminates the process with :data:`CRASH_EXIT_CODE` and no cleanup —
+    deliberately indistinguishable from ``kill -9`` landing between two
+    filesystem syscalls.
+    """
+    if _CRASH_SPECS is None:
+        return
+    tag = current_fault_region()
+    if tag is None:
+        return
+    key = (tag, op)
+    target = _CRASH_SPECS.get(key)
+    if target is None:
+        return
+    with _CRASH_LOCK:
+        _CRASH_HITS[key] = hits = _CRASH_HITS.get(key, 0) + 1
+    if hits == target:
+        os._exit(CRASH_EXIT_CODE)
+
+
+# Arm from the environment at import time so subprocesses (chaos children,
+# forked pool workers) participate without any in-band plumbing.
+if os.environ.get(CRASH_POINTS_ENV):
+    arm_crash_points(os.environ[CRASH_POINTS_ENV])

@@ -378,7 +378,14 @@ class CampaignJournal:
         self._opened = True
 
     def append(self, records: "Sequence[PointRecord]") -> None:
-        """Atomically persist one batch of completed-corner records."""
+        """Atomically persist one batch of completed-corner records.
+
+        The write is durable (fsync + rename + dir-fsync) and runs inside
+        the ``"journal"`` chaos region, so the crash-point harness can kill
+        the process at any filesystem step — recovery must then replay to a
+        byte-identical result either way.
+        """
+        from .faults import fault_region
         from .store import atomic_write
 
         if not records:
@@ -386,9 +393,10 @@ class CampaignJournal:
         if not self._opened:
             self.open()
         name = f"{self._SEGMENT_PREFIX}{self._next_segment:06d}.pkl"
-        atomic_write(self.directory / name,
-                     lambda handle: pickle.dump(tuple(records), handle,
-                                                protocol=4))
+        with fault_region("journal"):
+            atomic_write(self.directory / name,
+                         lambda handle: pickle.dump(tuple(records), handle,
+                                                    protocol=4))
         self._next_segment += 1
 
     def discard(self) -> None:

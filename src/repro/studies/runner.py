@@ -125,12 +125,22 @@ class TaskOutcome:
 
 @dataclass(frozen=True)
 class ExtractionTask:
-    """One cache-missing variant to extract (worker-shippable payload)."""
+    """One cache-missing variant to extract (worker-shippable payload).
+
+    When the runner's cache is disk-backed, ``cache_dir``/``key`` ride along
+    so the executing process (worker or not) routes the extraction through
+    the store's lease protocol — N concurrent runners sharing one cache
+    directory then extract each distinct variant exactly once, with the
+    others blocking on the claimer's lease and reusing its published entry.
+    """
 
     variant_index: int
     cell: Cell
     technology: ProcessTechnology
     flow_options: FlowOptions
+    cache_dir: str | None = None
+    key: str = ""
+    lease_stale_seconds: float = 30.0
 
     def corner_label(self) -> str:
         """Human-readable identity of the extraction (failure messages)."""
@@ -140,8 +150,19 @@ class ExtractionTask:
 
 def _execute_extraction(task: ExtractionTask) -> FlowResult:
     """Extract one variant (worker-side entry point; must stay picklable)."""
-    return run_extraction_flow(task.cell, task.technology,
-                               options=task.flow_options)
+    def extract() -> FlowResult:
+        return run_extraction_flow(task.cell, task.technology,
+                                   options=task.flow_options)
+
+    if not task.cache_dir or not task.key:
+        return extract()
+    # Lease-claimed path: exactly-once across every process sharing the
+    # cache directory (local import keeps the worker payload import-light).
+    from .store import DiskExtractionCache
+
+    store = DiskExtractionCache(task.cache_dir,
+                                lease_stale_seconds=task.lease_stale_seconds)
+    return store.extract_with_claim(task.key, extract)
 
 
 def _execute_task(task: SweepTask) -> TaskOutcome:
@@ -291,10 +312,18 @@ class SweepRunner:
                 resolved[key] = flow
                 hits.add(key)
             else:
+                # A disk-backed cache stamps its directory into the task so
+                # the extracting process claims the key first (exactly-once
+                # across concurrent runners sharing the directory).
+                cache_dir = getattr(self.cache, "cache_dir", None)
                 pending[key] = ExtractionTask(
                     variant_index=variant.index, cell=cell,
                     technology=self.technology,
-                    flow_options=variant.flow_options)
+                    flow_options=variant.flow_options,
+                    cache_dir=str(cache_dir) if cache_dir else None,
+                    key=key,
+                    lease_stale_seconds=getattr(
+                        self.cache, "lease_stale_seconds", 30.0))
         return keys, resolved, hits, pending
 
     def _extract_variants(self, campaign: Campaign,

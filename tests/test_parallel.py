@@ -17,7 +17,11 @@ Covers the `repro.parallel` package end to end:
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -431,6 +435,106 @@ def test_process_fanout_survives_worker_faults(tmp_path, kind):
     # The sabotaged block was recomputed in the parent: same bits, full stats.
     np.testing.assert_array_equal(out, serial_out)
     assert solver.stats.solves == len(frequencies)
+
+
+# -- worker heartbeats and pool-recycle hygiene -------------------------------
+
+
+@dataclass(frozen=True)
+class _WedgeJob:
+    """Scheduler payload the fault plan can target (matches on ``index``)."""
+
+    index: int
+
+    def corner_label(self) -> str:
+        return f"wedge job {self.index}"
+
+
+def _wedge_value(job: _WedgeJob) -> int:
+    return job.index + 100
+
+
+def test_scheduler_heartbeat_detects_silently_wedged_worker(tmp_path):
+    # A SIGSTOPped worker never errors, never completes and never breaks
+    # the pool: only the heartbeat monitor can notice it before the
+    # wall-clock task_timeout (set far too high to be the thing that saves
+    # this test).  The trip SIGKILLs the frozen worker, recycles the pool
+    # and the retry completes.
+    plan = FaultPlan(state_dir=str(tmp_path / "stop-state"),
+                     specs=(FaultSpec("stop", task_index=0, attempts=1),))
+    scheduler = WorkScheduler(max_workers=2, retries=1, task_timeout=300.0,
+                              heartbeat_timeout=1.0, backoff_base=0.01)
+    items = [WorkItem(id=f"w{index}", fn=plan.wrap(_wedge_value),
+                      payload=_WedgeJob(index))
+             for index in range(4)]
+    start = time.monotonic()
+    outcomes = scheduler.run(items)
+    elapsed = time.monotonic() - start
+    assert outcomes == {f"w{index}": index + 100 for index in range(4)}
+    assert scheduler.heartbeat_trips >= 1
+    assert scheduler.attempts["w0"] == 2
+    assert elapsed < 120.0                       # long before task_timeout
+
+
+def test_timeout_recycle_with_frequency_blocks_in_flight_leaks_no_shm(
+        tmp_path):
+    # Satellite regression: a scheduler timeout trip SIGKILLs the shared
+    # pool's workers while ac_mode="process" frequency blocks are in
+    # flight; the blocks must salvage (recompute in-parent, bit-identical)
+    # and every shared-memory arena must be unlinked afterwards.
+    from repro.parallel.freq import run_frequency_blocks
+
+    shm_root = Path("/dev/shm")
+    if not shm_root.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+
+    pattern, frequencies, rhs, size = _frequency_block_system()
+    serial_solver = make_solver(SolverOptions())
+    serial_out = np.zeros((len(frequencies), size), dtype=complex)
+    for index, frequency in enumerate(frequencies):
+        serial_out[index] = serial_solver.solve(
+            pattern.assemble(2j * np.pi * frequency), rhs)
+
+    before = set(os.listdir(shm_root))
+
+    # Block 0 hangs in its worker until the scheduler's recycle kills it.
+    block_plan = FaultPlan(
+        state_dir=str(tmp_path / "block-state"),
+        specs=(FaultSpec("hang", task_index=0, attempts=1,
+                         hang_seconds=120.0),))
+    results: dict[str, np.ndarray] = {}
+
+    def blocks() -> None:
+        solver = make_solver(SolverOptions(ac_workers=2, ac_mode="process"))
+        out = np.zeros_like(serial_out)
+        run_frequency_blocks(pattern, frequencies, solver, rhs=rhs, out=out,
+                             fault_plan=block_plan)
+        results["out"] = out
+
+    thread = threading.Thread(target=blocks)
+    thread.start()
+    time.sleep(0.3)                              # let the blocks occupy the pool
+
+    hang_plan = FaultPlan(
+        state_dir=str(tmp_path / "hang-state"),
+        specs=(FaultSpec("hang", task_index=0, attempts=1,
+                         hang_seconds=120.0),))
+    scheduler = WorkScheduler(max_workers=2, retries=1, task_timeout=0.5,
+                              backoff_base=0.01)
+    # Two items so the scheduler takes the pool path (one would run inline).
+    outcomes = scheduler.run(
+        [WorkItem(id="h", fn=hang_plan.wrap(_wedge_value),
+                  payload=_WedgeJob(0)),
+         WorkItem(id="q", fn=hang_plan.wrap(_wedge_value),
+                  payload=_WedgeJob(1))])
+    thread.join(timeout=300.0)
+    assert not thread.is_alive()
+
+    assert outcomes == {"h": 100, "q": 101}
+    np.testing.assert_array_equal(results["out"], serial_out)
+    leaked = {name for name in set(os.listdir(shm_root)) - before
+              if name.startswith("psm_")}
+    assert not leaked
 
 
 # -- campaign-level equivalence on the graph scheduler ------------------------

@@ -129,14 +129,19 @@ def test_disk_cache_evicts_other_format_versions(technology, store_campaign,
 
 
 def test_disk_cache_evicts_entries_of_older_extraction_code(tmp_path):
+    from repro.studies.store import build_envelope
+
     cache = DiskExtractionCache(tmp_path / "cache")
     key = "cd" * 32
     cache.store(key, "payload")
     path = cache.entry_path(key)
+    # A validly checksummed envelope written by older extraction code: the
+    # distinction matters — a *corrupted* code field fails the checksum and
+    # is quarantined with a warning instead.
     with path.open("wb") as handle:
-        pickle.dump({"format": DISK_FORMAT_VERSION, "key": key,
-                     "code": "sha-of-some-older-extraction-code",
-                     "flow": "stale-payload"}, handle)
+        pickle.dump(build_envelope(key, "stale-payload",
+                                   code="sha-of-some-older-extraction-code"),
+                    handle)
 
     fresh = DiskExtractionCache(tmp_path / "cache")
     assert fresh.lookup(key) is None         # silently evicted, no warning
